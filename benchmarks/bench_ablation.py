@@ -1,0 +1,76 @@
+"""Ablation bench: the design choices DESIGN.md calls out.
+
+Not a paper figure — this quantifies the individual DISCO mechanisms:
+
+- the §3.2 confidence mechanism (vs compress-whenever-possible);
+- §3.3-B coordinated scheduling (demoting compressible packets);
+- non-blocking shadow packets (§3.2 step-3).
+"""
+
+from dataclasses import replace
+
+import pytest
+from common import save_and_print, BENCH_ACCESSES, once
+
+from repro.cmp import CmpSystem, SystemConfig, make_scheme
+from repro.core import DiscoConfig
+from repro.core.scheduling import baseline_priority
+from repro.experiments.report import format_table
+from repro.workloads import generate_traces, get_profile
+
+WORKLOAD = "dedup"
+
+
+def run_variant(disco=None, priority=None):
+    config = SystemConfig.scaled_4x4()
+    traces = generate_traces(
+        get_profile(WORKLOAD), config.n_cores, BENCH_ACCESSES, seed=7
+    )
+    scheme = make_scheme("disco", disco=disco)
+    system = CmpSystem(config, scheme, traces, warmup_fraction=0.4)
+    if priority is not None:
+        system.network.packet_priority = priority
+    return system.run()
+
+
+def test_ablation(benchmark):
+    def sweep():
+        variants = {
+            "disco (full)": run_variant(),
+            "hasty (thresholds off)": run_variant(
+                disco=DiscoConfig(cc_threshold=-10.0, cd_threshold=-10.0,
+                                  beta=0.0)
+            ),
+            "no scheduling policy": run_variant(priority=baseline_priority),
+            "blocking engine": run_variant(
+                disco=DiscoConfig(non_blocking=False)
+            ),
+        }
+        return variants
+
+    variants = once(benchmark, sweep)
+    rows = []
+    for name, result in variants.items():
+        counters = result.counters_measured
+        rows.append(
+            [
+                name,
+                result.avg_miss_latency,
+                counters["router_compressions"],
+                counters["router_decompressions"],
+                result.network.aborted_jobs,
+            ]
+        )
+    save_and_print(
+        "ablation",
+        format_table(
+            ["variant", "miss latency", "rcomp", "rdec", "aborts"],
+            rows,
+            title=f"DISCO ablation on {WORKLOAD}",
+        ),
+    )
+    full = variants["disco (full)"].avg_miss_latency
+    hasty = variants["hasty (thresholds off)"].avg_miss_latency
+    # The confidence mechanism is what keeps DISCO from hurting itself:
+    # compress-always commits packets that then cannot be scheduled.
+    assert full < hasty

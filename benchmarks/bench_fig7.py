@@ -1,0 +1,28 @@
+"""Fig. 7 benchmark: memory-subsystem energy vs the no-compression baseline.
+
+Paper: DISCO consumes ~73.3 % of baseline energy, beating CNC by ~9.1 %
+and CC by ~8.3 %.  Shares the Fig. 5 simulations via the runner memo.
+"""
+
+from common import save_and_print, BENCH_ACCESSES, BENCH_WORKLOADS, once
+
+from repro.experiments.fig7 import fig7, render
+
+
+def test_fig7(benchmark):
+    result = once(
+        benchmark,
+        lambda: fig7(
+            workloads=BENCH_WORKLOADS, accesses_per_core=BENCH_ACCESSES
+        ),
+    )
+    save_and_print('fig7', render(result))
+    avg = result.average
+    # Every compressing scheme saves energy over the baseline.
+    for scheme in ("cc", "cnc", "disco"):
+        assert avg[scheme] < 1.0
+    # DISCO is the most efficient (paper: beats CC and CNC).
+    assert avg["disco"] <= avg["cc"]
+    assert avg["disco"] <= avg["cnc"]
+    # And lands in the paper's neighbourhood (~0.73 of baseline).
+    assert 0.55 <= avg["disco"] <= 0.95

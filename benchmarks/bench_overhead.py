@@ -1,0 +1,16 @@
+"""§4.3 benchmark: hardware overhead of DISCO (structural area model)."""
+
+from common import save_and_print, once
+
+from repro.experiments.overhead import overhead, render
+
+
+def test_overhead(benchmark):
+    report = once(benchmark, overhead)
+    save_and_print('overhead', render(report))
+    # Paper: +17.2% of the router; our structural model should land close.
+    assert 0.12 <= report.router_overhead <= 0.25
+    # Paper: <1% of the 4MB NUCA cache across 16 tiles.
+    assert report.cache_overhead < 0.01
+    # Paper: DISCO needs about half of CNC's compressor area.
+    assert report.disco_vs_cnc_area < 0.75

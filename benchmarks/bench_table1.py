@@ -1,0 +1,20 @@
+"""Table 1 benchmark: compression scheme parameters + measured ratios."""
+
+from common import save_and_print, once
+
+from repro.experiments.table1 import render, table1
+
+
+def test_table1(benchmark):
+    rows = once(benchmark, lambda: table1(lines_per_profile=100))
+    save_and_print('table1', render(rows))
+    by_name = {r.algorithm: r for r in rows}
+    # Paper Table 1 shape: SC2 has the highest ratio; SFPC the lowest of
+    # the pattern schemes; delta/BDI in between.
+    assert by_name["sc2"].measured_ratio > by_name["delta"].measured_ratio
+    assert by_name["delta"].measured_ratio > by_name["sfpc"].measured_ratio
+    assert by_name["fpc"].measured_ratio > by_name["sfpc"].measured_ratio
+    # Ratios land in the published neighbourhood.
+    assert 1.3 <= by_name["fpc"].measured_ratio <= 1.9
+    assert 1.4 <= by_name["delta"].measured_ratio <= 1.9
+    assert by_name["sc2"].measured_ratio >= 1.8

@@ -1,0 +1,11 @@
+"""Table 2 benchmark: render and verify the baseline system parameters."""
+
+from common import save_and_print, once
+
+from repro.experiments.table2 import render, verify_table2
+
+
+def test_table2(benchmark):
+    problems = once(benchmark, verify_table2)
+    save_and_print('table2', render())
+    assert problems == []

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the figure-quality (8-workload, full-length) artifacts.
+
+Standalone companion to the pytest benchmarks: runs Fig. 5 and Fig. 7 at
+figure scale (they share simulations via the runner memo) and optionally
+Fig. 6/Fig. 8, writing the rendered tables under ``bench_results/*_full.txt``.
+Equivalent to ``REPRO_BENCH_FULL=1 pytest benchmarks/`` but selectable:
+
+    python benchmarks/run_full_figures.py fig5 fig7
+    python benchmarks/run_full_figures.py all
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments.fig5 import fig5, render as render5
+from repro.experiments.fig6 import fig6, render as render6
+from repro.experiments.fig7 import fig7, render as render7
+from repro.experiments.fig8 import fig8, render as render8
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+def save(name: str, text: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}_full.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    print(f"[saved {path}]")
+
+
+def main(targets) -> None:
+    if not targets or "all" in targets:
+        targets = ["fig5", "fig7", "fig6", "fig8"]
+    start = time.time()
+    for target in targets:
+        print(f"== {target} (figure scale) ==")
+        if target == "fig5":
+            save("fig5", render5(fig5()))
+        elif target == "fig7":
+            save("fig7", render7(fig7()))
+        elif target == "fig6":
+            save("fig6", render6(fig6()))
+        elif target == "fig8":
+            save("fig8", render8(fig8()))
+        else:
+            raise SystemExit(f"unknown target {target!r}")
+        print(f"[elapsed {time.time() - start:.0f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Full-system walkthrough of one workload under all five schemes.
+
+Runs a single PARSEC-like workload (default: freqmine) under baseline /
+ideal / CC / CNC / DISCO and prints the Fig. 5-style latency comparison,
+the Fig. 7-style energy comparison, and the raw compression activity, so
+you can see where each scheme pays and saves.
+
+Run:  python examples/full_system_comparison.py [workload] [accesses]
+"""
+
+import sys
+
+from repro.cmp import CmpSystem, SystemConfig, make_scheme
+from repro.energy import energy_of_result
+from repro.workloads import generate_traces, get_profile
+
+
+def main(workload: str = "freqmine", accesses: int = 1200) -> None:
+    config = SystemConfig.scaled_4x4()
+    profile = get_profile(workload)
+    print(f"workload: {workload} ({profile.description})")
+    print(f"system:   {config.n_cores} tiles, "
+          f"{config.llc_capacity_bytes // 1024} KB scaled NUCA\n")
+    results = {}
+    for scheme_name in ("baseline", "ideal", "cc", "cnc", "disco"):
+        traces = generate_traces(profile, config.n_cores, accesses, seed=7)
+        system = CmpSystem(
+            config, make_scheme(scheme_name), traces, warmup_fraction=0.4
+        )
+        results[scheme_name] = system.run()
+
+    ideal = results["ideal"].avg_miss_latency
+    base_energy = energy_of_result(results["baseline"]).total
+    header = (
+        f"{'scheme':>9} {'latency':>8} {'vs ideal':>9} {'energy':>9} "
+        f"{'rcomp':>6} {'rdec':>6} {'nidec':>6} {'LLC miss':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        energy = energy_of_result(result).total
+        net = result.counters_measured
+        print(
+            f"{name:>9} {result.avg_miss_latency:8.1f} "
+            f"{result.avg_miss_latency / ideal:9.3f} "
+            f"{energy / base_energy:9.3f} "
+            f"{net['router_compressions']:6d} "
+            f"{net['router_decompressions']:6d} "
+            f"{net['ni_decompressions']:6d} "
+            f"{result.llc_miss_rate:9.3f}"
+        )
+    print(
+        "\nlatency normalized to ideal (paper Fig. 5), energy to the "
+        "no-compression baseline (paper Fig. 7)."
+    )
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "freqmine"
+    accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 1200
+    main(workload, accesses)

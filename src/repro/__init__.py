@@ -1,0 +1,25 @@
+"""DISCO reproduction: a low-overhead in-network data compressor for
+energy-efficient chip multi-processors (Wang et al., DAC 2016).
+
+This package is a full, from-scratch Python reproduction of the DISCO
+system and its evaluation environment:
+
+- :mod:`repro.compression` — cache-line compression algorithms (delta, BDI,
+  FPC/SFPC, C-Pack, SC², FVC, zero-content) with Table 1 timing models;
+- :mod:`repro.noc` — a cycle-level virtual-channel wormhole mesh NoC;
+- :mod:`repro.core` — the DISCO router: in-network compressor engine,
+  confidence-based arbitrator, shadow packets, coordinated scheduling;
+- :mod:`repro.cache` — L1 caches, MSHRs, a blocking coherence directory,
+  segmented compressed NUCA L2 banks, and a DRAM model;
+- :mod:`repro.cmp` — the tiled CMP tying it all together, plus the five
+  evaluated schemes (baseline / ideal / CC / CNC / DISCO);
+- :mod:`repro.workloads` — synthetic PARSEC-like traces;
+- :mod:`repro.energy` — Orion/CACTI-style energy and area models;
+- :mod:`repro.experiments` — runners that regenerate every table and figure
+  of the paper's evaluation section.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Cache-hierarchy substrate: L1s, MSHRs, NUCA L2 banks, directory, DRAM.
+
+Everything the tiled CMP of the paper's Table 2 needs on the memory side:
+
+- :class:`repro.cache.l1.L1Cache` — private per-core L1 with MSHRs;
+- :class:`repro.cache.compressed_bank.CompressedBankArray` — segmented
+  compressed data array (2x tags, 8-byte segments) giving every compressing
+  scheme its real capacity benefit;
+- :class:`repro.cache.nuca.NucaBank` — one shared-L2 bank: data array +
+  blocking coherence directory (MESI-flavoured, transaction-serialized);
+- :class:`repro.cache.memory.MemoryController` — DRAM with per-bank FCFS
+  queueing.
+"""
+
+from repro.cache.replacement import LRUPolicy
+from repro.cache.compressed_bank import BankLine, CompressedBankArray
+from repro.cache.mshr import MSHRFile, MSHREntry
+from repro.cache.l1 import L1Cache, L1Stats
+from repro.cache.memory import MemoryController, MemoryStats
+
+__all__ = [
+    "LRUPolicy",
+    "BankLine",
+    "CompressedBankArray",
+    "MSHRFile",
+    "MSHREntry",
+    "L1Cache",
+    "L1Stats",
+    "MemoryController",
+    "MemoryStats",
+]

@@ -1,0 +1,134 @@
+"""Full-system configuration (paper Table 2) and scaled variants.
+
+``SystemConfig.table2()`` reproduces the paper's parameters verbatim
+(16 cores, 4 MB NUCA, 4 GB DRAM...).  Cycle-level simulation in pure Python
+cannot run billions of instructions, so the experiment runners use
+``scaled_*`` variants: the LLC is shrunk together with the synthetic
+working sets so that *capacity pressure* — the ratio that determines the
+benefit of compression — matches the paper's regime within traces of a few
+thousand accesses per core.  Every scheme within one experiment uses the
+identical configuration, so the normalized comparisons are unaffected by
+the scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.noc.config import NocConfig
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Structural parameters of the tiled CMP."""
+
+    noc: NocConfig = field(default_factory=NocConfig)
+    line_size: int = 64
+
+    # L1 (Table 2: 32KB 4-way data cache, 64B lines)
+    l1_sets: int = 128
+    l1_ways: int = 4
+    l1_mshrs: int = 8
+    l1_hit_latency: int = 1
+
+    # Shared NUCA L2 (Table 2: 4MB, 16 banks, 8-way, 4-cycle hit)
+    l2_sets_per_bank: int = 512
+    l2_ways: int = 8
+    l2_hit_latency: int = 4
+    l2_tag_factor: int = 2
+    segment_bytes: int = 8
+
+    # Memory (Table 2: 4G DRAM, 1 rank, 1 channel, 8 banks)
+    memory_latency: int = 120
+    memory_banks: int = 8  # per memory controller
+    mc_nodes: Tuple[int, ...] = (0,)
+
+    # Core model
+    core_window: int = 4  # outstanding L1 misses per core (4-issue OoO)
+
+    def __post_init__(self) -> None:
+        if self.l1_sets < 1 or self.l1_ways < 1:
+            raise ValueError("L1 geometry must be positive")
+        if self.l2_sets_per_bank < 1 or self.l2_ways < 1:
+            raise ValueError("L2 geometry must be positive")
+        if not self.mc_nodes:
+            raise ValueError("need at least one memory controller")
+        for node in self.mc_nodes:
+            if not 0 <= node < self.noc.n_nodes:
+                raise ValueError(f"mc node {node} outside the mesh")
+        if self.core_window < 1:
+            raise ValueError("core_window must be at least 1")
+
+    @property
+    def n_cores(self) -> int:
+        return self.noc.n_nodes
+
+    @property
+    def n_banks(self) -> int:
+        return self.noc.n_nodes  # one NUCA bank per tile
+
+    @property
+    def llc_capacity_bytes(self) -> int:
+        return (
+            self.n_banks * self.l2_sets_per_bank * self.l2_ways * self.line_size
+        )
+
+    def home_node(self, addr: int) -> int:
+        """Static NUCA mapping: line-interleaved across banks."""
+        return addr % self.n_banks
+
+    def mc_for(self, addr: int) -> int:
+        """Memory-controller node serving this line (channel interleave)."""
+        return self.mc_nodes[addr % len(self.mc_nodes)]
+
+    @property
+    def total_memory_banks(self) -> int:
+        return self.memory_banks * len(self.mc_nodes)
+
+    # -- canonical configurations ------------------------------------------
+    @staticmethod
+    def table2() -> "SystemConfig":
+        """The paper's full-scale configuration (4x4, 4MB NUCA)."""
+        return SystemConfig()
+
+    @staticmethod
+    def scaled_4x4(l2_sets_per_bank: int = 32,
+                   l1_sets: int = 32) -> "SystemConfig":
+        """Scaled 16-tile system for tractable cycle-level runs.
+
+        The whole hierarchy shrinks together: L1 = 8 KB (32 sets x 4 ways),
+        LLC = 16 banks x 32 sets x 8 ways x 64 B = 256 KB, preserving the
+        paper's L1 << LLC capacity ratio; the synthetic working sets
+        (DESIGN.md) are sized around the LLC so compression's extra
+        effective capacity matters, matching the paper's pressure regime
+        at reduced scale.
+        """
+        return SystemConfig(
+            l2_sets_per_bank=l2_sets_per_bank, l1_sets=l1_sets
+        )
+
+    @staticmethod
+    def scaled_mesh(width: int, height: int,
+                    l2_sets_per_bank: int = 32,
+                    l1_sets: int = 32) -> "SystemConfig":
+        """Scaled system with an arbitrary mesh (Fig. 8 scalability).
+
+        Memory channels scale with the tile count (one corner MC per 16
+        tiles, as in large tiled CMPs) so the off-chip interface does not
+        become the bottleneck that hides the on-chip effects under study.
+        """
+        n_nodes = width * height
+        if n_nodes > 16:
+            corners = (
+                0, width - 1, n_nodes - width, n_nodes - 1
+            )
+            mc_nodes = tuple(sorted(set(corners)))
+        else:
+            mc_nodes = (0,)
+        return SystemConfig(
+            noc=NocConfig(width=width, height=height),
+            l2_sets_per_bank=l2_sets_per_bank,
+            l1_sets=l1_sets,
+            mc_nodes=mc_nodes,
+        )

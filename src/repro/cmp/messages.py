@@ -1,0 +1,82 @@
+"""Protocol messages of the cache-coherent CMP (§3.3-C packet classes).
+
+Request packets carry commands to banks / the memory controller; response
+packets carry cache blocks (and are the only compressible class, §3.3-C);
+coherence packets carry invalidations/acks/recalls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.noc.flit import PacketType
+
+
+class MessageKind(enum.Enum):
+    """All protocol message kinds."""
+
+    GETS = "gets"  # L1 -> home: read request
+    GETX = "getx"  # L1 -> home: write/upgrade request
+    DATA = "data"  # home -> L1: data response (grants S or M)
+    WB_DATA = "wb_data"  # L1 -> home: dirty writeback
+    WB_ACK = "wb_ack"  # home -> L1: writeback consumed (precise WB tracking)
+    INV = "inv"  # home -> L1: invalidate
+    INV_ACK = "inv_ack"  # L1 -> home: invalidation acknowledged
+    RECALL = "recall"  # home -> owner L1: return the M line
+    RECALL_DATA = "recall_data"  # owner L1 -> home: recalled line
+    RECALL_NACK = "recall_nack"  # owner L1 -> home: line already left (WB races)
+    MEM_READ = "mem_read"  # home -> MC
+    MEM_DATA = "mem_data"  # MC -> home
+    MEM_WB = "mem_wb"  # home -> MC: dirty LLC eviction
+
+    @property
+    def packet_type(self) -> PacketType:
+        if self in _DATA_KINDS:
+            return PacketType.RESPONSE
+        if self in (MessageKind.GETS, MessageKind.GETX, MessageKind.MEM_READ):
+            return PacketType.REQUEST
+        return PacketType.COHERENCE
+
+    @property
+    def carries_data(self) -> bool:
+        return self in _DATA_KINDS
+
+
+_DATA_KINDS = frozenset(
+    {
+        MessageKind.DATA,
+        MessageKind.WB_DATA,
+        MessageKind.RECALL_DATA,
+        MessageKind.MEM_DATA,
+        MessageKind.MEM_WB,
+    }
+)
+
+#: Data-carrying messages whose *destination* consumes the raw line
+#: (cores fill MSHRs, DRAM stores raw lines); the rest (bank-bound data)
+#: may arrive compressed under DISCO.
+_RAW_AT_DST = frozenset({MessageKind.DATA, MessageKind.MEM_WB})
+
+
+@dataclass
+class Message:
+    """One protocol message (becomes ``Packet.msg``)."""
+
+    kind: MessageKind
+    addr: int
+    src: int  # node id
+    dst: int  # node id
+    requester: int = -1  # original requesting core's node (for DATA routing)
+    data: Optional[bytes] = None
+    grant_state: str = ""  # "S" or "M" on DATA
+    issue_cycle: int = -1
+
+    @property
+    def needs_raw_at_dst(self) -> bool:
+        return self.kind in _RAW_AT_DST
+
+    def __post_init__(self) -> None:
+        if self.kind.carries_data and self.data is None:
+            raise ValueError(f"{self.kind.value} message requires data")

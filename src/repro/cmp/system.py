@@ -1,0 +1,473 @@
+"""The full CMP system: wiring, the simulation loop, and results.
+
+``CmpSystem`` builds the NoC (with DISCO routers when the scheme asks for
+them), one tile + home bank per node, and the memory controller; registers
+the scheme's NI transforms and scheduling policy; and runs the cycle loop
+until every core has drained its trace.  The output is a
+:class:`SimulationResult` holding the Fig. 5/6/8 latency metric, the raw
+event counts the energy model consumes (Fig. 7), and all substrate stats.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cmp.bank import HomeBank
+from repro.cmp.config import SystemConfig
+from repro.cmp.core_model import CoreModel
+from repro.cmp.messages import Message, MessageKind
+from repro.cmp.schemes import SchemePolicy
+from repro.cmp.tile import Tile
+from repro.cache.memory import MemoryController
+from repro.core.disco_router import make_disco_router_factory
+from repro.core.scheduling import baseline_priority, disco_priority
+from repro.noc.flit import Packet
+from repro.noc.network import Network
+from repro.noc.stats import NetworkStats
+from repro.workloads.trace import TraceSet
+
+#: Abort threshold: cycles without any core finishing progress.
+_WATCHDOG_LIMIT = 4_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything one (scheme, workload) run produced."""
+
+    scheme: str
+    algorithm: str
+    workload: str
+    cycles: int
+    total_primary_misses: int
+    total_miss_latency: int
+    l1_hits: int
+    l1_accesses: int
+    network: NetworkStats = None  # type: ignore[assignment]
+    bank_reads: int = 0
+    bank_writes: int = 0
+    bank_tag_lookups: int = 0
+    bank_segments_read: int = 0
+    bank_segments_written: int = 0
+    bank_hits: int = 0
+    bank_misses: int = 0
+    bank_compressions: int = 0
+    bank_decompressions: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    llc_resident_lines: int = 0
+    llc_segment_occupancy: float = 0.0
+
+    measured_primary_misses: int = 0
+    measured_miss_latency: int = 0
+    measure_start_cycle: int = 0
+    n_routers: int = 0
+    counters_full: Dict[str, int] = field(default_factory=dict)
+    counters_measured: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def avg_miss_latency(self) -> float:
+        """The paper's metric: average on-chip data access latency.
+
+        Uses the post-warmup (steady-state) samples when a warmup region
+        was configured, all misses otherwise.
+        """
+        if self.measured_primary_misses > 0:
+            return self.measured_miss_latency / self.measured_primary_misses
+        if self.total_primary_misses == 0:
+            return 0.0
+        return self.total_miss_latency / self.total_primary_misses
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.cycles - self.measure_start_cycle
+
+    @property
+    def l1_miss_rate(self) -> float:
+        if self.l1_accesses == 0:
+            return 0.0
+        return 1.0 - self.l1_hits / self.l1_accesses
+
+    @property
+    def llc_miss_rate(self) -> float:
+        lookups = self.bank_hits + self.bank_misses
+        if lookups == 0:
+            return 0.0
+        return self.bank_misses / lookups
+
+
+class CmpSystem:
+    """One simulatable CMP instance (config x scheme x workload)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: SchemePolicy,
+        traces: TraceSet,
+        warmup_fraction: float = 0.0,
+        prefill: bool = True,
+    ):
+        if traces.n_cores != config.n_cores:
+            raise ValueError(
+                f"trace set has {traces.n_cores} cores, "
+                f"config has {config.n_cores}"
+            )
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.config = config
+        self.scheme = scheme
+        self.traces = traces
+        self.warmup_fraction = warmup_fraction
+        self.prefill = prefill
+        self.pool = traces.pool
+        self.algorithm = scheme.make_algorithm(config.line_size)
+        # -- network --------------------------------------------------------
+        router_factory = None
+        if scheme.use_disco_routers:
+            assert scheme.disco is not None
+            router_factory = make_disco_router_factory(
+                scheme.disco, self.algorithm
+            )
+        self.network = Network(config.noc, router_factory=router_factory)
+        self.network.set_delivery_handler(self._on_packet)
+        self.network.packet_priority = (
+            disco_priority if scheme.use_disco_routers else baseline_priority
+        )
+        if scheme.ni_compression:
+            self.network.inject_transform = self._cnc_inject
+            self.network.eject_transform = self._cnc_eject
+        elif scheme.use_disco_routers:
+            self.network.eject_transform = self._disco_eject
+        # -- tiles / banks / memory ------------------------------------------
+        sweeps = traces.sweep_lengths or [0] * config.n_cores
+        self.tiles: List[Tile] = []
+        for node in range(config.n_cores):
+            trace = traces.traces[node]
+            steady = len(trace) - sweeps[node]
+            warmup = sweeps[node] + int(steady * warmup_fraction)
+            self.tiles.append(
+                Tile(
+                    node,
+                    self,
+                    CoreModel(node, trace, config.core_window, warmup=warmup),
+                )
+            )
+        self.banks: List[HomeBank] = [
+            HomeBank(node, self) for node in range(config.n_banks)
+        ]
+        self.memory = MemoryController(
+            access_latency=config.memory_latency,
+            n_banks=config.total_memory_banks,
+            line_source=self.pool.line,
+            line_size=config.line_size,
+        )
+        # -- event queue -------------------------------------------------------
+        self._events: List = []
+        self._event_seq = itertools.count()
+        if prefill:
+            self._prefill_llc()
+        # -- steady-state counter snapshot (taken when every core crossed
+        #    its warmup boundary; energy uses the post-snapshot deltas) -----
+        self._snapshot: Optional[Dict[str, int]] = None
+        self._measure_start_cycle = 0
+
+    def _prefill_llc(self) -> None:
+        """Warm-start the LLC with the workload footprint (checkpoint load).
+
+        Equivalent to simulating a long cold phase — every line the trace
+        will touch is installed clean at its home bank in the scheme's
+        storage form, with LRU/capacity evictions applied in address order.
+        The remaining transient (L1 fill, LLC recency) is excluded via the
+        ``warmup_fraction`` window.
+        """
+        order = getattr(self.traces, "prefill_order", None)
+        addresses = order() if order else sorted(self.traces.touched_addresses())
+        for addr in addresses:
+            bank = self.banks[self.config.home_node(addr)]
+            bank._insert(addr, self.pool.line(addr), dirty=False, packet=None)
+
+    # -- counters -----------------------------------------------------------
+    def collect_counters(self) -> Dict[str, int]:
+        """Scalar event counters consumed by the energy model."""
+        net = self.network.stats
+        counters = {
+            "cycles": self.cycle,
+            "link_flits": net.link_flits,
+            "buffer_writes": net.buffer_writes,
+            "buffer_reads": net.buffer_reads,
+            "crossbar_flits": net.crossbar_flits,
+            "sa_grants": net.sa_grants,
+            "va_grants": net.va_grants,
+            "router_compressions": net.compressions,
+            "router_decompressions": net.decompressions,
+            "ni_compressions": net.ni_compressions,
+            "ni_decompressions": net.ni_decompressions,
+            "flits_injected": net.flits_injected,
+            "flits_ejected": net.flits_ejected,
+            "packets_injected": net.packets_injected,
+            "memory_reads": self.memory.stats.reads,
+            "memory_writes": self.memory.stats.writes,
+        }
+        bank_reads = bank_writes = tag_lookups = 0
+        seg_read = seg_written = bank_comp = bank_decomp = 0
+        for bank in self.banks:
+            stats = bank.array.stats
+            bank_reads += stats.reads
+            bank_writes += stats.writes
+            tag_lookups += stats.tag_lookups
+            seg_read += stats.segments_read
+            seg_written += stats.segments_written
+            bank_comp += bank.side_stats.compressions
+            bank_decomp += bank.side_stats.decompressions
+        counters.update(
+            bank_reads=bank_reads,
+            bank_writes=bank_writes,
+            bank_tag_lookups=tag_lookups,
+            bank_segments_read=seg_read,
+            bank_segments_written=seg_written,
+            bank_compressions=bank_comp,
+            bank_decompressions=bank_decomp,
+        )
+        l1_accesses = sum(
+            t.l1.stats.reads + t.l1.stats.writes for t in self.tiles
+        )
+        counters["l1_accesses"] = l1_accesses
+        return counters
+
+    def _maybe_snapshot(self) -> None:
+        if self._snapshot is not None:
+            return
+        if all(not t.core.in_warmup() for t in self.tiles):
+            self._snapshot = self.collect_counters()
+            self._measure_start_cycle = self.cycle
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.network.cycle
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` cycles (bank latencies, DRAM)."""
+        heapq.heappush(
+            self._events, (self.cycle + max(0, delay), next(self._event_seq), fn)
+        )
+
+    # -- messaging --------------------------------------------------------------
+    def send_message(self, msg: Message, compressed_payload=None) -> None:
+        """Wrap a protocol message into a packet and inject it."""
+        packet = self._make_packet(msg, compressed_payload)
+        self.network.send(packet)
+
+    def _make_packet(self, msg: Message, compressed_payload) -> Packet:
+        carries = msg.kind.carries_data
+        compressible = False
+        decompress_at_dst = False
+        is_compressed = False
+        if carries and self.scheme.use_disco_routers:
+            compressible = True
+            decompress_at_dst = msg.needs_raw_at_dst
+            if compressed_payload is not None:
+                is_compressed = True
+        elif compressed_payload is not None:  # pragma: no cover - guard
+            raise ValueError("only DISCO sends pre-compressed packets")
+        return Packet(
+            msg.kind.packet_type,
+            msg.src,
+            msg.dst,
+            flit_bytes=self.config.noc.flit_bytes,
+            line=msg.data if carries else None,
+            compressed=compressed_payload,
+            is_compressed=is_compressed,
+            compressible=compressible,
+            decompress_at_dst=decompress_at_dst,
+            msg=msg,
+        )
+
+    def _on_packet(self, node: int, packet: Packet) -> None:
+        msg: Message = packet.msg
+        kind = msg.kind
+        if kind in (MessageKind.MEM_READ, MessageKind.MEM_WB):
+            self._memory_request(msg, packet)
+        elif kind in (
+            MessageKind.GETS,
+            MessageKind.GETX,
+            MessageKind.WB_DATA,
+            MessageKind.INV_ACK,
+            MessageKind.RECALL_DATA,
+            MessageKind.RECALL_NACK,
+            MessageKind.MEM_DATA,
+        ):
+            self.banks[node].handle(msg, packet)
+        else:
+            self.tiles[node].handle(msg, packet)
+
+    def _memory_request(self, msg: Message, packet: Packet) -> None:
+        if msg.kind is MessageKind.MEM_READ:
+            done, data = self.memory.read(msg.addr, self.cycle)
+            reply = Message(
+                kind=MessageKind.MEM_DATA,
+                addr=msg.addr,
+                src=msg.dst,
+                dst=msg.src,
+                requester=msg.requester,
+                data=data,
+            )
+            self.schedule(done - self.cycle, lambda: self.send_message(reply))
+        else:
+            assert msg.data is not None
+            if packet.is_compressed:  # pragma: no cover - defensive
+                raise RuntimeError("DRAM cannot store a compressed line")
+            self.memory.write(msg.addr, msg.data, self.cycle)
+
+    # -- NI transforms (scheme hooks) ------------------------------------------
+    def _cnc_inject(self, node: int, packet: Packet) -> int:
+        if packet.carries_data and not packet.is_compressed:
+            compressed = self.algorithm.compress(packet.line)
+            self.network.stats.ni_compressions += 1
+            if compressed.compressible:
+                packet.apply_compression(compressed)
+            return self.scheme.compression_cycles
+        return 0
+
+    def _cnc_eject(self, node: int, packet: Packet) -> int:
+        if packet.carries_data and packet.is_compressed:
+            packet.apply_decompression()
+            self.network.stats.ni_decompressions += 1
+            return self.scheme.decompression_cycles
+        return 0
+
+    def _disco_eject(self, node: int, packet: Packet) -> int:
+        if packet.is_compressed and packet.decompress_at_dst:
+            # The network never found idle time: the residual decompression
+            # latency is exposed at the NI (the mis-prediction cost §3.2
+            # accepts), before the block may enter the MSHR (§1).
+            packet.apply_decompression()
+            self.network.stats.ni_decompressions += 1
+            return self.scheme.decompression_cycles
+        return 0
+
+    # -- the simulation loop ---------------------------------------------------------
+    def run(self, max_cycles: int = _WATCHDOG_LIMIT) -> SimulationResult:
+        tiles = self.tiles
+        last_progress_cycle = 0
+        last_outstanding = -1
+        while True:
+            if all(tile.core.done() for tile in tiles):
+                break
+            self._maybe_fast_forward()
+            self.network.tick()
+            self._run_events()
+            cycle = self.cycle
+            for tile in tiles:
+                tile.tick(cycle)
+            self._maybe_snapshot()
+            # Watchdog: abort if globally stuck.
+            signature = sum(t.core.position for t in tiles) + sum(
+                t.core.outstanding for t in tiles
+            )
+            if signature != last_outstanding:
+                last_outstanding = signature
+                last_progress_cycle = cycle
+            elif cycle - last_progress_cycle > 200_000:
+                raise RuntimeError(
+                    f"simulation wedged at cycle {cycle} "
+                    f"(scheme={self.scheme.name})"
+                )
+            if cycle > max_cycles:
+                raise RuntimeError("simulation exceeded max_cycles")
+        return self._collect()
+
+    def _maybe_fast_forward(self) -> None:
+        """Skip idle cycles: when nothing is in flight anywhere, jump the
+        clock to the next core issue time or scheduled event.  Purely a
+        wall-clock optimization — observable behaviour is identical because
+        no component can act during the skipped cycles."""
+        cycle = self.cycle
+        horizon = cycle + 2
+        next_interesting = None
+        for tile in self.tiles:
+            core = tile.core
+            if core.outstanding > 0:
+                return  # a miss is in flight somewhere
+            if core.position < len(core.trace):
+                when = core.next_issue_cycle
+                if when <= horizon:
+                    return
+                if next_interesting is None or when < next_interesting:
+                    next_interesting = when
+        if self._events:
+            when = self._events[0][0]
+            if when <= horizon:
+                return
+            if next_interesting is None or when < next_interesting:
+                next_interesting = when
+        if next_interesting is None or not self.network.quiescent():
+            return
+        self.network.cycle = next_interesting - 1
+
+    def _run_events(self) -> None:
+        events = self._events
+        cycle = self.cycle
+        while events and events[0][0] <= cycle:
+            _, _, fn = heapq.heappop(events)
+            fn()
+
+    # -- results ---------------------------------------------------------------------
+    def _collect(self) -> SimulationResult:
+        total_latency = sum(
+            t.core.stats.total_miss_latency for t in self.tiles
+        )
+        total_primary = sum(
+            t.core.stats.primary_misses for t in self.tiles
+        )
+        l1_hits = sum(t.l1.stats.hits for t in self.tiles)
+        l1_accesses = sum(
+            t.l1.stats.reads + t.l1.stats.writes for t in self.tiles
+        )
+        result = SimulationResult(
+            scheme=self.scheme.name,
+            algorithm=self.scheme.algorithm_name,
+            workload=self.traces.profile.name,
+            cycles=self.cycle,
+            total_primary_misses=total_primary,
+            total_miss_latency=total_latency,
+            l1_hits=l1_hits,
+            l1_accesses=l1_accesses,
+            network=self.network.stats,
+            n_routers=self.config.noc.n_nodes,
+        )
+        used = total = 0
+        for bank in self.banks:
+            stats = bank.array.stats
+            result.bank_reads += stats.reads
+            result.bank_writes += stats.writes
+            result.bank_tag_lookups += stats.tag_lookups
+            result.bank_segments_read += stats.segments_read
+            result.bank_segments_written += stats.segments_written
+            result.bank_hits += stats.hits
+            result.bank_misses += stats.misses
+            result.bank_compressions += bank.side_stats.compressions
+            result.bank_decompressions += bank.side_stats.decompressions
+            result.llc_resident_lines += bank.array.resident_lines()
+            u, t = bank.array.occupancy()
+            used += u
+            total += t
+        result.llc_segment_occupancy = used / total if total else 0.0
+        result.memory_reads = self.memory.stats.reads
+        result.memory_writes = self.memory.stats.writes
+        result.measured_primary_misses = sum(
+            t.core.stats.measured_primary_misses for t in self.tiles
+        )
+        result.measured_miss_latency = sum(
+            t.core.stats.measured_miss_latency for t in self.tiles
+        )
+        final = self.collect_counters()
+        result.counters_full = final
+        base = self._snapshot or {key: 0 for key in final}
+        result.counters_measured = {
+            key: final[key] - base.get(key, 0) for key in final
+        }
+        result.measure_start_cycle = self._measure_start_cycle
+        return result

@@ -1,0 +1,140 @@
+"""C-Pack cache compression (Chen et al., IEEE TVLSI 2010, ref [4]).
+
+C-Pack combines static pattern codes with a small dictionary of recently
+seen 32-bit words.  Each word is encoded as one of:
+
+=========  ==========================================  ==========
+code       meaning                                     total bits
+=========  ==========================================  ==========
+``00``     zzzz — all-zero word                        2
+``01``     xxxx — uncompressed word                    34
+``10``     mmmm — full dictionary match                6
+``1100``   mmxx — upper 2 bytes match a dict entry     24
+``1101``   zzzx — zero word except the low byte        12
+``1110``   mmmx — upper 3 bytes match a dict entry     16
+=========  ==========================================  ==========
+
+The 16-entry dictionary is filled FIFO with every word that was not a full
+match; decompression replays the identical dictionary updates, so the
+encoding is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.compression.base import (
+    CompressionAlgorithm,
+    from_words32,
+    words32,
+)
+
+_DICT_SIZE = 16
+
+_ZZZZ = "zzzz"
+_XXXX = "xxxx"
+_MMMM = "mmmm"
+_MMXX = "mmxx"
+_ZZZX = "zzzx"
+_MMMX = "mmmx"
+
+_CODE_BITS = {
+    _ZZZZ: 2,
+    _XXXX: 2 + 32,
+    _MMMM: 2 + 4,
+    _MMXX: 4 + 4 + 16,
+    _ZZZX: 4 + 8,
+    _MMMX: 4 + 4 + 8,
+}
+
+
+class _Dictionary:
+    """FIFO dictionary shared by the encoder and decoder replay."""
+
+    def __init__(self) -> None:
+        self.entries: List[int] = []
+
+    def push(self, word: int) -> None:
+        self.entries.append(word)
+        if len(self.entries) > _DICT_SIZE:
+            self.entries.pop(0)
+
+    def full_match(self, word: int) -> int:
+        """Index of an exact match, or -1."""
+        for idx in range(len(self.entries) - 1, -1, -1):
+            if self.entries[idx] == word:
+                return idx
+        return -1
+
+    def partial_match(self, word: int, match_bytes: int) -> int:
+        """Index whose top ``match_bytes`` bytes equal ``word``'s, or -1."""
+        shift = 8 * (4 - match_bytes)
+        target = word >> shift
+        for idx in range(len(self.entries) - 1, -1, -1):
+            if self.entries[idx] >> shift == target:
+                return idx
+        return -1
+
+
+class CPackCompressor(CompressionAlgorithm):
+    """Pattern + dictionary compression of 32-bit words."""
+
+    name = "cpack"
+
+    def _encode(self, line: bytes) -> Tuple[int, Any]:
+        dictionary = _Dictionary()
+        entries: List[Tuple[str, Any]] = []
+        size_bits = 0
+        for word in words32(line):
+            code, data = self._encode_word(word, dictionary)
+            entries.append((code, data))
+            size_bits += _CODE_BITS[code]
+        return size_bits, tuple(entries)
+
+    def _encode_word(self, word: int, dictionary: _Dictionary) -> Tuple[str, Any]:
+        if word == 0:
+            return _ZZZZ, None
+        if word <= 0xFF:
+            return _ZZZX, word
+        idx = dictionary.full_match(word)
+        if idx >= 0:
+            return _MMMM, idx
+        idx = dictionary.partial_match(word, 3)
+        if idx >= 0:
+            low = word & 0xFF
+            dictionary.push(word)
+            return _MMMX, (idx, low)
+        idx = dictionary.partial_match(word, 2)
+        if idx >= 0:
+            low = word & 0xFFFF
+            dictionary.push(word)
+            return _MMXX, (idx, low)
+        dictionary.push(word)
+        return _XXXX, word
+
+    def _decode(self, payload: Any) -> bytes:
+        dictionary = _Dictionary()
+        words: List[int] = []
+        for code, data in payload:
+            if code == _ZZZZ:
+                words.append(0)
+            elif code == _ZZZX:
+                words.append(data)
+            elif code == _MMMM:
+                words.append(dictionary.entries[data])
+            elif code == _MMMX:
+                idx, low = data
+                word = (dictionary.entries[idx] & 0xFFFFFF00) | low
+                dictionary.push(word)
+                words.append(word)
+            elif code == _MMXX:
+                idx, low = data
+                word = (dictionary.entries[idx] & 0xFFFF0000) | low
+                dictionary.push(word)
+                words.append(word)
+            elif code == _XXXX:
+                dictionary.push(data)
+                words.append(data)
+            else:  # pragma: no cover
+                raise ValueError(f"bad C-Pack code {code!r}")
+        return from_words32(words)

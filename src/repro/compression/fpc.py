@@ -1,0 +1,153 @@
+"""Frequent Pattern Compression (Alameldeen & Wood, ISCA 2004, ref [2]).
+
+FPC scans a line as 32-bit words and encodes each with a 3-bit prefix
+selecting one of eight static patterns (zero runs, narrow sign-extended
+values, half-zero words, repeated bytes, or raw).  ``SFPC`` is the
+simplified variant the paper's Table 1 lists with 4-cycle decompression and
+a 1.33 average ratio: a 2-bit prefix over a reduced pattern set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.compression.base import (
+    CompressionAlgorithm,
+    from_words32,
+    signed_fits,
+    to_signed,
+    words32,
+)
+
+# 3-bit FPC prefixes (ISCA'04 Table 1).
+_ZERO_RUN = 0  # 3-bit run length, 1..8 zero words
+_SIGNED_4BIT = 1
+_SIGNED_1BYTE = 2
+_SIGNED_HALF = 3
+_HALF_PADDED = 4  # non-zero halfword + zero halfword
+_TWO_HALF_BYTES = 5  # two halfwords, each a sign-extended byte
+_REPEATED_BYTES = 6
+_UNCOMPRESSED = 7
+
+_PREFIX_BITS = 3
+_DATA_BITS = {
+    _ZERO_RUN: 3,
+    _SIGNED_4BIT: 4,
+    _SIGNED_1BYTE: 8,
+    _SIGNED_HALF: 16,
+    _HALF_PADDED: 16,
+    _TWO_HALF_BYTES: 16,
+    _REPEATED_BYTES: 8,
+    _UNCOMPRESSED: 32,
+}
+_MAX_ZERO_RUN = 8
+
+
+def _classify(word: int) -> Tuple[int, Any]:
+    """Pick the smallest FPC pattern for one non-run 32-bit word."""
+    signed = to_signed(word, 4)
+    if -8 <= signed < 8:
+        return _SIGNED_4BIT, signed
+    if signed_fits(signed, 1):
+        return _SIGNED_1BYTE, signed
+    if signed_fits(signed, 2):
+        return _SIGNED_HALF, signed
+    low, high = word & 0xFFFF, word >> 16
+    if low == 0:
+        return _HALF_PADDED, high
+    lo_s, hi_s = to_signed(low, 2), to_signed(high, 2)
+    if signed_fits(lo_s, 1) and signed_fits(hi_s, 1):
+        return _TWO_HALF_BYTES, (lo_s, hi_s)
+    b = word & 0xFF
+    if word == b * 0x01010101:
+        return _REPEATED_BYTES, b
+    return _UNCOMPRESSED, word
+
+
+class FPCCompressor(CompressionAlgorithm):
+    """Frequent Pattern Compression with zero-run collapsing."""
+
+    name = "fpc"
+
+    def _encode(self, line: bytes) -> Tuple[int, Any]:
+        words = words32(line)
+        entries: List[Tuple[int, Any]] = []
+        size_bits = 0
+        i = 0
+        while i < len(words):
+            if words[i] == 0:
+                run = 1
+                while (
+                    i + run < len(words)
+                    and words[i + run] == 0
+                    and run < _MAX_ZERO_RUN
+                ):
+                    run += 1
+                entries.append((_ZERO_RUN, run))
+                size_bits += _PREFIX_BITS + _DATA_BITS[_ZERO_RUN]
+                i += run
+                continue
+            pattern, data = _classify(words[i])
+            entries.append((pattern, data))
+            size_bits += _PREFIX_BITS + _DATA_BITS[pattern]
+            i += 1
+        return size_bits, tuple(entries)
+
+    def _decode(self, payload: Any) -> bytes:
+        words: List[int] = []
+        for pattern, data in payload:
+            if pattern == _ZERO_RUN:
+                words.extend([0] * data)
+            elif pattern in (_SIGNED_4BIT, _SIGNED_1BYTE, _SIGNED_HALF):
+                words.append(data & 0xFFFFFFFF)
+            elif pattern == _HALF_PADDED:
+                words.append((data << 16) & 0xFFFFFFFF)
+            elif pattern == _TWO_HALF_BYTES:
+                lo, hi = data
+                words.append(((hi & 0xFFFF) << 16) | (lo & 0xFFFF))
+            elif pattern == _REPEATED_BYTES:
+                words.append(data * 0x01010101)
+            elif pattern == _UNCOMPRESSED:
+                words.append(data)
+            else:  # pragma: no cover - encoder never emits other patterns
+                raise ValueError(f"bad FPC pattern {pattern}")
+        return from_words32(words)
+
+
+class SFPCCompressor(CompressionAlgorithm):
+    """Simplified FPC: 2-bit prefixes, reduced pattern set (Table 1 "SFPC").
+
+    Patterns: zero word, sign-extended byte, raw.  The shallower decode
+    tree is why the paper credits it with 4-cycle decompression at a lower
+    (~1.33) average ratio than full FPC.
+    """
+
+    name = "sfpc"
+
+    _ZERO, _BYTE, _RAW = range(3)
+    _PREFIX = 2
+    _BITS = {0: 0, 1: 8, 2: 32}
+
+    def _encode(self, line: bytes) -> Tuple[int, Any]:
+        entries: List[Tuple[int, int]] = []
+        size_bits = 0
+        for word in words32(line):
+            signed = to_signed(word, 4)
+            if word == 0:
+                entry = (self._ZERO, 0)
+            elif signed_fits(signed, 1):
+                entry = (self._BYTE, signed)
+            else:
+                entry = (self._RAW, word)
+            entries.append(entry)
+            size_bits += self._PREFIX + self._BITS[entry[0]]
+        return size_bits, tuple(entries)
+
+    def _decode(self, payload: Any) -> bytes:
+        words = []
+        for pattern, data in payload:
+            if pattern == self._ZERO:
+                words.append(0)
+            else:
+                words.append(data & 0xFFFFFFFF)
+        return from_words32(words)

@@ -1,0 +1,69 @@
+"""Frequent-value compression for NoC traffic (Jin et al., MICRO 2008 and
+Zhou et al., ASPDAC 2009 — refs [7][8] of the paper).
+
+A small table of frequent 32-bit values is shared by encoder and decoder;
+each word of a line is replaced by a table index when it matches, otherwise
+it is sent verbatim behind a flag bit.  This is the classic NI-side packet
+compressor the paper contrasts DISCO with ("prior art ... compress NoC
+traffics in Network Interface").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.compression.base import (
+    CompressionAlgorithm,
+    from_words32,
+    words32,
+)
+
+#: Default frequent-value table: zero dominates, then tiny constants.
+_DEFAULT_TABLE: Tuple[int, ...] = (0, 1, 0xFFFFFFFF, 2, 3, 4, 0x01010101, 8)
+
+
+class FVCCompressor(CompressionAlgorithm):
+    """Fixed-table frequent value coding of 32-bit words."""
+
+    name = "fvc"
+
+    def __init__(self, line_size: int = 64, table: Sequence[int] = _DEFAULT_TABLE):
+        super().__init__(line_size)
+        if not table:
+            raise ValueError("frequent-value table must not be empty")
+        self.table: Tuple[int, ...] = tuple(table)
+        self._index = {value: i for i, value in enumerate(self.table)}
+        self.index_bits = max(1, (len(self.table) - 1).bit_length())
+
+    def train(self, lines: Iterable[bytes]) -> Tuple[int, ...]:
+        """Refill the table with the most frequent words of a sample."""
+        counts: Counter = Counter()
+        for line in lines:
+            counts.update(words32(bytes(line)))
+        if not counts:
+            raise ValueError("cannot train FVC on an empty sample")
+        size = len(self.table)
+        self.table = tuple(value for value, _ in counts.most_common(size))
+        self._index = {value: i for i, value in enumerate(self.table)}
+        return self.table
+
+    def _encode(self, line: bytes) -> Tuple[int, Any]:
+        entries: List[Tuple[bool, int]] = []
+        size_bits = 0
+        for word in words32(line):
+            idx = self._index.get(word)
+            if idx is None:
+                entries.append((False, word))
+                size_bits += 1 + 32
+            else:
+                entries.append((True, idx))
+                size_bits += 1 + self.index_bits
+        return size_bits, (self.table, tuple(entries))
+
+    def _decode(self, payload: Any) -> bytes:
+        table, entries = payload
+        words = []
+        for hit, data in entries:
+            words.append(table[data] if hit else data)
+        return from_words32(words)

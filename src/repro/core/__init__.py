@@ -1,0 +1,35 @@
+"""DISCO — the paper's contribution: in-network distributed compression.
+
+The pieces map one-to-one onto §3 of the paper:
+
+- :class:`repro.core.config.DiscoConfig` — thresholds/coefficients of the
+  confidence mechanism (Eq. 1/2) and engine latencies;
+- :class:`repro.core.engine.DiscoCompressorEngine` — the per-router
+  compression engine with shadow packets and non-blocking abort
+  (§3.2 step-3), including *separate compression* of partially-arrived
+  wormhole packets (§3.3-A);
+- :class:`repro.core.arbitrator.DiscoArbitrator` — candidate filtering and
+  confidence counting (§3.2 steps 1-2);
+- :class:`repro.core.disco_router.DiscoRouter` — the §3.1 router wiring the
+  engine and arbitrator into the baseline 3-stage pipeline;
+- :mod:`repro.core.scheduling` — the §3.3-B packet-priority policy.
+"""
+
+from repro.core.config import DiscoConfig
+from repro.core.engine import DiscoCompressorEngine, EngineJob, JOB_COMPRESS, JOB_DECOMPRESS
+from repro.core.arbitrator import DiscoArbitrator
+from repro.core.disco_router import DiscoRouter, make_disco_router_factory
+from repro.core.scheduling import disco_priority, baseline_priority
+
+__all__ = [
+    "DiscoConfig",
+    "DiscoCompressorEngine",
+    "EngineJob",
+    "JOB_COMPRESS",
+    "JOB_DECOMPRESS",
+    "DiscoArbitrator",
+    "DiscoRouter",
+    "make_disco_router_factory",
+    "disco_priority",
+    "baseline_priority",
+]

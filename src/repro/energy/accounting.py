@@ -1,0 +1,149 @@
+"""Energy accounting: price simulator event counters into joules.
+
+``compute_energy`` consumes a :class:`repro.cmp.system.SimulationResult`
+(or any compatible counter dict + structural info) and produces the Fig. 7
+breakdown: NoC dynamic/leakage, NUCA dynamic/leakage, compressor
+dynamic/leakage, optional DRAM.  Leakage integrates over the *measured*
+(post-warmup) cycles so scheme runtime differences show up, exactly as the
+paper's "accelerated performance" energy channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.energy.params import EnergyParams
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy components in picojoules."""
+
+    noc_dynamic: float = 0.0
+    noc_leakage: float = 0.0
+    cache_dynamic: float = 0.0
+    cache_leakage: float = 0.0
+    compressor_dynamic: float = 0.0
+    compressor_leakage: float = 0.0
+    dram: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.noc_dynamic
+            + self.noc_leakage
+            + self.cache_dynamic
+            + self.cache_leakage
+            + self.compressor_dynamic
+            + self.compressor_leakage
+            + self.dram
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "noc_dynamic": self.noc_dynamic,
+            "noc_leakage": self.noc_leakage,
+            "cache_dynamic": self.cache_dynamic,
+            "cache_leakage": self.cache_leakage,
+            "compressor_dynamic": self.compressor_dynamic,
+            "compressor_leakage": self.compressor_leakage,
+            "dram": self.dram,
+            "total": self.total,
+        }
+
+
+def _engine_count(scheme_name: str, n_routers: int) -> int:
+    """How many compressor engine instances leak, per scheme (§4.3).
+
+    CC places one per bank; CNC one per bank *and* one per NI (the doubled
+    area the paper says DISCO halves); DISCO one per router.  The baseline
+    has none; 'ideal' is a normalization fiction charged like CC.
+    """
+    if scheme_name == "baseline":
+        return 0
+    if scheme_name in ("cc", "ideal"):
+        return n_routers  # one bank per tile
+    if scheme_name == "cnc":
+        return 2 * n_routers  # bank + NI per tile
+    if scheme_name == "disco":
+        return n_routers
+    raise KeyError(f"unknown scheme {scheme_name!r}")
+
+
+def compute_energy(
+    counters: Dict[str, int],
+    cycles: int,
+    n_routers: int,
+    scheme_name: str,
+    algorithm: str,
+    params: Optional[EnergyParams] = None,
+) -> EnergyBreakdown:
+    """Price one run's counters.
+
+    ``counters`` is ``SimulationResult.counters_measured`` (steady state)
+    or ``counters_full``; ``cycles`` must be the matching cycle count.
+    """
+    p = params or EnergyParams()
+    out = EnergyBreakdown()
+
+    # -- NoC -----------------------------------------------------------------
+    out.noc_dynamic = (
+        counters.get("buffer_writes", 0) * p.buffer_write_pj
+        + counters.get("buffer_reads", 0) * p.buffer_read_pj
+        + counters.get("crossbar_flits", 0) * p.crossbar_pj
+        + counters.get("link_flits", 0) * p.link_pj
+        + (counters.get("sa_grants", 0) + counters.get("va_grants", 0))
+        * p.arbitration_pj
+    )
+    out.noc_leakage = cycles * n_routers * p.router_leak_pj_per_cycle
+
+    # -- NUCA banks -------------------------------------------------------------
+    out.cache_dynamic = (
+        counters.get("bank_tag_lookups", 0) * p.bank_tag_pj
+        + counters.get("bank_segments_read", 0) * p.bank_segment_pj
+        + counters.get("bank_segments_written", 0)
+        * p.bank_segment_pj
+        * p.bank_write_factor
+    )
+    out.cache_leakage = cycles * n_routers * p.bank_leak_pj_per_cycle
+
+    # -- compressors -----------------------------------------------------------
+    comp_pj, decomp_pj, leak_pj = p.compressor_constants(algorithm)
+    compressions = (
+        counters.get("router_compressions", 0)
+        + counters.get("ni_compressions", 0)
+        + counters.get("bank_compressions", 0)
+    )
+    decompressions = (
+        counters.get("router_decompressions", 0)
+        + counters.get("ni_decompressions", 0)
+        + counters.get("bank_decompressions", 0)
+    )
+    out.compressor_dynamic = compressions * comp_pj + decompressions * decomp_pj
+    out.compressor_leakage = (
+        cycles * _engine_count(scheme_name, n_routers) * leak_pj
+    )
+
+    # -- DRAM (optional; outside the paper's Fig. 7 subsystem) -----------------
+    if p.include_dram:
+        accesses = counters.get("memory_reads", 0) + counters.get(
+            "memory_writes", 0
+        )
+        out.dram = accesses * p.dram_access_pj
+    return out
+
+
+def energy_of_result(result, params: Optional[EnergyParams] = None,
+                     measured: bool = True) -> EnergyBreakdown:
+    """Convenience wrapper over a :class:`SimulationResult`."""
+    counters = result.counters_measured if measured else result.counters_full
+    cycles = result.measured_cycles if measured else result.cycles
+    return compute_energy(
+        counters,
+        cycles,
+        result.n_routers,
+        result.scheme,
+        result.algorithm,
+        params,
+    )

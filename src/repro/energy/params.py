@@ -1,0 +1,70 @@
+"""45 nm-class energy constants.
+
+Magnitudes follow the published Orion 2.0 / CACTI ballpark for a 2 GHz
+tiled CMP with 64-bit flits and 256 KB NUCA banks.  All dynamic energies
+are picojoules per event; leakage is picojoules per cycle per instance
+(1 mW at 2 GHz = 0.5 pJ/cycle).  Every scheme is priced with the same
+constants, so the Fig. 7 comparisons depend only on event counts and
+runtime, not on the absolute calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+#: Per-operation compressor energy (compress pJ, decompress pJ) and engine
+#: leakage (pJ/cycle), keyed by algorithm.  Scaled with the Table 1
+#: hardware-overhead column: pattern-table schemes burn more than the
+#: adder-only delta datapath.
+COMPRESSOR_ENERGY: Dict[str, Tuple[float, float, float]] = {
+    "delta": (6.0, 4.0, 0.55),
+    "bdi": (6.0, 4.0, 0.55),
+    "fpc": (11.0, 9.0, 1.30),
+    "sfpc": (9.0, 7.0, 1.00),
+    "cpack": (13.0, 11.0, 1.50),
+    "sc2": (16.0, 13.0, 1.80),
+    "fvc": (5.0, 4.0, 0.40),
+    "zero": (2.0, 1.5, 0.20),
+}
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Tunable energy constants (defaults: 45 nm, 2 GHz)."""
+
+    # -- NoC dynamic (pJ per event; Orion-2.0-like, 64-bit datapath) -----
+    buffer_write_pj: float = 1.2
+    buffer_read_pj: float = 1.0
+    crossbar_pj: float = 1.9
+    arbitration_pj: float = 0.12
+    link_pj: float = 1.6  # 1 mm link, one flit
+
+    # -- NoC leakage -----------------------------------------------------
+    router_leak_pj_per_cycle: float = 4.0  # ~8 mW per 5-port VC router
+
+    # -- NUCA bank dynamic (CACTI-like, 256 KB bank, 8-byte segments) ----
+    bank_tag_pj: float = 22.0
+    bank_segment_pj: float = 38.0  # per 8-byte segment read/written
+    bank_write_factor: float = 1.15
+
+    # -- NUCA leakage ------------------------------------------------------
+    bank_leak_pj_per_cycle: float = 16.0  # ~32 mW per 256 KB bank
+
+    # -- DRAM (per line transfer; excluded from the Fig. 7 subsystem) ----
+    dram_access_pj: float = 18_000.0
+    include_dram: bool = False
+
+    # -- compressor engines ------------------------------------------------
+    compressor_energy: Dict[str, Tuple[float, float, float]] = field(
+        default_factory=lambda: dict(COMPRESSOR_ENERGY)
+    )
+
+    def compressor_constants(self, algorithm: str) -> Tuple[float, float, float]:
+        try:
+            return self.compressor_energy[algorithm]
+        except KeyError:
+            raise KeyError(
+                f"no compressor energy constants for {algorithm!r}"
+            ) from None

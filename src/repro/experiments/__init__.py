@@ -1,0 +1,27 @@
+"""Experiment runners that regenerate every table and figure of the paper.
+
+Each module reproduces one artifact of the evaluation section:
+
+- :mod:`repro.experiments.table1` — compression scheme parameters;
+- :mod:`repro.experiments.table2` — the baseline system configuration;
+- :mod:`repro.experiments.fig5` — performance with delta compression;
+- :mod:`repro.experiments.fig6` — performance with FPC and SC²;
+- :mod:`repro.experiments.fig7` — energy, normalized to no-compression;
+- :mod:`repro.experiments.fig8` — scalability (2x2 / 4x4 / 8x8 meshes);
+- :mod:`repro.experiments.overhead` — the §4.3 area overhead analysis.
+
+All runners share :func:`repro.experiments.runner.run_spec`, which memoizes
+(config, scheme, workload) simulations so Fig. 5 and Fig. 7 price the same
+runs, exactly as the paper derives both from one set of simulations.
+"""
+
+from repro.experiments.runner import RunSpec, run_spec, clear_cache
+from repro.experiments.report import format_table, normalize
+
+__all__ = [
+    "RunSpec",
+    "run_spec",
+    "clear_cache",
+    "format_table",
+    "normalize",
+]

@@ -1,0 +1,80 @@
+"""Fig. 6 — performance with FPC and SC² plugged into CC / CNC / DISCO.
+
+DISCO is algorithm-agnostic (§3.2); this experiment swaps the engine for
+FPC (5/5 cycles) and SC² (6/8 cycles, highest ratio) and repeats the Fig. 5
+measurement.  The paper reports DISCO gaining 11-16 % on average, with the
+biggest margin under SC² — the long-latency algorithm benefits most from
+having its latency hidden — and CNC falling *behind* CC for the expensive
+algorithms (two-level compression pays the long latency twice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.fig5 import Fig5Result, fig5
+from repro.experiments.report import format_table
+from repro.experiments.runner import DEFAULT_WORKLOADS, FIGURE_ACCESSES
+
+ALGORITHMS = ("fpc", "sc2")
+
+
+@dataclass
+class Fig6Result:
+    per_algorithm: Dict[str, Fig5Result]
+
+    def improvement(self, algorithm: str, other: str) -> float:
+        return self.per_algorithm[algorithm].improvement_of_disco_over(other)
+
+
+def fig6(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    algorithms: Sequence[str] = ALGORITHMS,
+    accesses_per_core: int = FIGURE_ACCESSES,
+    verbose: bool = False,
+) -> Fig6Result:
+    per_algorithm = {
+        algorithm: fig5(
+            workloads=workloads,
+            algorithm=algorithm,
+            accesses_per_core=accesses_per_core,
+            schemes=("cc", "cnc", "disco"),
+            verbose=verbose,
+        )
+        for algorithm in algorithms
+    }
+    return Fig6Result(per_algorithm=per_algorithm)
+
+
+def render(result: Optional[Fig6Result] = None, **kwargs) -> str:
+    result = result or fig6(**kwargs)
+    blocks: List[str] = []
+    for algorithm, fig in result.per_algorithm.items():
+        schemes = ["ideal", "cc", "cnc", "disco"]
+        rows = [
+            [w] + [fig.normalized[w][s] for s in schemes]
+            for w in fig.workloads
+        ]
+        rows.append(["geomean"] + [fig.average[s] for s in schemes])
+        blocks.append(
+            format_table(
+                ["workload"] + schemes,
+                rows,
+                title=f"Fig. 6 ({algorithm}): normalized latency (ideal = 1.0)",
+            )
+        )
+        blocks.append(
+            f"DISCO vs CC:  {100 * fig.improvement_of_disco_over('cc'):+.1f}%   "
+            f"DISCO vs CNC: {100 * fig.improvement_of_disco_over('cnc'):+.1f}%"
+            + (
+                "   (paper, SC2: 15.5% / 16.7%)"
+                if algorithm == "sc2"
+                else ""
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(render(verbose=True))

@@ -1,0 +1,58 @@
+"""Plain-text result tables (the harness prints what the paper plots)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def normalize(
+    values: Mapping[str, float], reference: str
+) -> Dict[str, float]:
+    """Normalize a row of values to one entry (the paper's 'ideal'=1.0)."""
+    ref = values[reference]
+    if ref == 0:
+        raise ZeroDivisionError(f"reference {reference!r} is zero")
+    return {key: value / ref for key, value in values.items()}
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the usual aggregate for normalized metrics)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table; floats rendered with 3 decimals."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Shared simulation runner with memoization.
+
+A :class:`RunSpec` pins every degree of freedom of one simulation; results
+are cached per spec so experiments that share runs (Fig. 5's latency view
+and Fig. 7's energy view of the identical simulations) only pay once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, Iterable
+
+from repro.cmp.config import SystemConfig
+from repro.cmp.schemes import make_scheme
+from repro.cmp.system import CmpSystem, SimulationResult
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import generate_traces
+
+#: Benchmarks used by the figure experiments (a PARSEC subset keeps the
+#: pure-Python cycle-level runs tractable; pass ``workloads=...`` to the
+#: experiment functions for the full suite).
+DEFAULT_WORKLOADS = (
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "fluidanimate",
+    "freqmine",
+    "streamcluster",
+    "x264",
+)
+
+#: Accesses per core for figure-quality runs and for quick (test) runs.
+FIGURE_ACCESSES = 1500
+QUICK_ACCESSES = 300
+
+#: Default warmup fraction (cold-start exclusion).
+WARMUP_FRACTION = 0.25
+
+#: Sample size used to train statistical algorithms (SC², FVC) per run.
+TRAIN_LINES = 512
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that identifies one simulation."""
+
+    scheme: str
+    workload: str
+    algorithm: str = "delta"
+    width: int = 4
+    height: int = 4
+    accesses_per_core: int = FIGURE_ACCESSES
+    seed: int = 7
+    warmup_fraction: float = WARMUP_FRACTION
+    l2_sets_per_bank: int = 32
+    l2_hit_latency: int = 4
+    #: Working-set multiplier (for weak-scaling studies; Fig. 8 uses the
+    #: paper's strong scaling — fixed workload and total cache).
+    ws_scale: float = 1.0
+
+    def config(self) -> SystemConfig:
+        base = SystemConfig.scaled_mesh(
+            self.width, self.height, l2_sets_per_bank=self.l2_sets_per_bank
+        )
+        if self.l2_hit_latency != base.l2_hit_latency:
+            base = _dc_replace(base, l2_hit_latency=self.l2_hit_latency)
+        return base
+
+    def profile(self):
+        profile = get_profile(self.workload)
+        if self.ws_scale != 1.0:
+            profile = _dc_replace(
+                profile,
+                working_set_lines=max(
+                    64, int(profile.working_set_lines * self.ws_scale)
+                ),
+            )
+        return profile
+
+
+_CACHE: Dict[RunSpec, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized results (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def run_spec(spec: RunSpec, verbose: bool = False) -> SimulationResult:
+    """Run (or recall) one simulation."""
+    cached = _CACHE.get(spec)
+    if cached is not None:
+        return cached
+    config = spec.config()
+    scheme = make_scheme(spec.scheme, algorithm=spec.algorithm)
+    traces = generate_traces(
+        spec.profile(),
+        config.n_cores,
+        spec.accesses_per_core,
+        seed=spec.seed,
+        line_size=config.line_size,
+    )
+    system = CmpSystem(
+        config, scheme, traces, warmup_fraction=spec.warmup_fraction
+    )
+    _train_if_needed(system, spec)
+    if verbose:
+        print(f"running {spec.scheme}/{spec.algorithm} on {spec.workload} "
+              f"({spec.width}x{spec.height})...")
+    result = system.run()
+    _CACHE[spec] = result
+    return result
+
+
+def _train_if_needed(system: CmpSystem, spec: RunSpec) -> None:
+    """Train statistical algorithms on a workload sample (SC²'s offline
+    sampling phase; the same training is applied in every scheme)."""
+    train = getattr(system.algorithm, "train", None)
+    if train is None:
+        return
+    if spec.algorithm not in ("sc2", "fvc"):
+        return
+    sample = system.pool.sample(TRAIN_LINES, seed=spec.seed + 1)
+    train(sample)
+
+
+def run_matrix(
+    schemes: Iterable[str],
+    workloads: Iterable[str],
+    verbose: bool = False,
+    **spec_kwargs,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run scheme x workload; returns ``results[scheme][workload]``."""
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    for scheme in schemes:
+        row: Dict[str, SimulationResult] = {}
+        for workload in workloads:
+            spec = RunSpec(scheme=scheme, workload=workload, **spec_kwargs)
+            row[workload] = run_spec(spec, verbose=verbose)
+        out[scheme] = row
+    return out

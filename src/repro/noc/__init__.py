@@ -1,0 +1,37 @@
+"""Cycle-level Network-on-Chip substrate (the BookSim substitution).
+
+A 2-D mesh of 3-stage virtual-channel routers with credit-based wormhole
+flow control (virtual cut-through and store-and-forward are also supported,
+§3.3-A of the paper).  Packets carry real cache-line payloads so in-network
+compression operates on actual bytes.
+
+Main entry points:
+
+- :class:`repro.noc.network.Network` — builds the mesh, owns the cycle loop;
+- :class:`repro.noc.flit.Packet` — the unit of transfer;
+- :class:`repro.noc.config.NocConfig` — structural parameters (Table 2);
+- :mod:`repro.noc.traffic` — synthetic traffic drivers for NoC-only studies.
+"""
+
+from repro.noc.config import NocConfig, FlowControl
+from repro.noc.flit import Packet, PacketType, VNET_REQUEST, VNET_RESPONSE
+from repro.noc.topology import Mesh, PORT_LOCAL, PORT_NAMES
+from repro.noc.routing import xy_route, xy_hops
+from repro.noc.network import Network
+from repro.noc.stats import NetworkStats
+
+__all__ = [
+    "NocConfig",
+    "FlowControl",
+    "Packet",
+    "PacketType",
+    "VNET_REQUEST",
+    "VNET_RESPONSE",
+    "Mesh",
+    "PORT_LOCAL",
+    "PORT_NAMES",
+    "xy_route",
+    "xy_hops",
+    "Network",
+    "NetworkStats",
+]

@@ -1,0 +1,68 @@
+"""Structural NoC parameters (paper Table 2 defaults)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FlowControl(enum.Enum):
+    """Flow-control policies discussed in §3.3-A.
+
+    ``WORMHOLE`` (the Table 2 baseline) lets a packet's flits spread over
+    several routers; ``VIRTUAL_CUT_THROUGH`` and ``STORE_AND_FORWARD`` keep
+    whole packets within one node (a downstream VC is only granted when it
+    can hold the entire packet), which is the property that makes
+    whole-packet in-network compression trivially safe.
+    """
+
+    WORMHOLE = "wormhole"
+    VIRTUAL_CUT_THROUGH = "vct"
+    STORE_AND_FORWARD = "saf"
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh/router structural configuration.
+
+    Defaults reproduce the paper's Table 2: 4x4 mesh, XY routing, 3
+    pipeline stages, wormhole flow control, 8-flit buffers, 2 virtual
+    channels, 64-bit flits.
+    """
+
+    width: int = 4
+    height: int = 4
+    vnets: int = 2
+    vcs_per_vnet: int = 1
+    vc_depth: int = 8
+    flit_bytes: int = 8
+    flow_control: FlowControl = FlowControl.WORMHOLE
+    link_latency: int = 1
+    ejection_bandwidth: int = 1  # flits per cycle per node
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if self.vnets < 1 or self.vcs_per_vnet < 1:
+            raise ValueError("need at least one VC per vnet")
+        if self.vc_depth < 1:
+            raise ValueError("vc_depth must be positive")
+        if self.flit_bytes < 1:
+            raise ValueError("flit_bytes must be positive")
+        if self.link_latency < 1:
+            raise ValueError("link_latency must be at least 1 cycle")
+        if self.ejection_bandwidth < 1:
+            raise ValueError("ejection_bandwidth must be at least 1")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def vcs_per_port(self) -> int:
+        return self.vnets * self.vcs_per_vnet
+
+    def vnet_vcs(self, vnet: int):
+        """The VC indices belonging to a virtual network."""
+        start = vnet * self.vcs_per_vnet
+        return range(start, start + self.vcs_per_vnet)

@@ -1,0 +1,143 @@
+"""Network interfaces: packetization, injection and ejection queues.
+
+The NI is where the *scheme-dependent* compression steps of the paper's
+comparison live (§4.1): CNC equips every NI with a (de)compressor that
+compresses all injected and decompresses all ejected packets, charging the
+algorithm's latency on both ends; DISCO's NI only pays a decompression
+charge when a compressed packet reaches a destination that needs the raw
+line and no router along the way found idle time to decompress it (the
+mis-prediction residue of §3.2).  Those policies are injected by the
+:mod:`repro.cmp.schemes` layer through :class:`repro.noc.network.Network`
+hooks; the NI itself is scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+from repro.noc.flit import Packet
+from repro.noc.router import InputVC
+from repro.noc.topology import PORT_LOCAL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint of one node."""
+
+    def __init__(self, node: int, network: "Network"):
+        self.node = node
+        self.network = network
+        self.config = network.config
+        # One injection queue per vnet so responses never wait behind
+        # requests at the source (protocol-deadlock avoidance).
+        self._queues: List[Deque[Tuple[int, Packet]]] = [
+            deque() for _ in range(self.config.vnets)
+        ]
+        self._streaming: List[Optional[Tuple[Packet, InputVC, int]]] = [
+            None for _ in range(self.config.vnets)
+        ]
+        # Ejected packets waiting out an NI decompression charge.
+        self._pending_delivery: List[Tuple[int, Packet]] = []
+
+    # -- injection -----------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet for injection (applies the inject transform)."""
+        now = self.network.cycle
+        packet.injected_cycle = now
+        extra = self.network.inject_transform(self.node, packet)
+        self._queues[packet.ptype.vnet].append((now + extra, packet))
+        self.network.stats.packets_injected += 1
+
+    def has_work(self) -> bool:
+        if self._pending_delivery:
+            return True
+        for stream in self._streaming:
+            if stream is not None:
+                return True
+        for queue in self._queues:
+            if queue:
+                return True
+        return False
+
+    def tick(self) -> None:
+        self._deliver_pending()
+        for vnet in range(self.config.vnets):
+            self._advance_stream(vnet)
+
+    def _advance_stream(self, vnet: int) -> None:
+        stream = self._streaming[vnet]
+        if stream is None:
+            stream = self._start_stream(vnet)
+            if stream is None:
+                return
+        packet, vc, sent = stream
+        if vc.depth - vc.flits_present <= 0:
+            return  # no buffer space this cycle
+        is_head = sent == 0
+        vc.accept_flit(packet, is_head)
+        self.network.stats.flits_injected += 1
+        self.network.stats.buffer_writes += 1
+        sent += 1
+        if sent == packet.size_flits:
+            self._streaming[vnet] = None
+        else:
+            self._streaming[vnet] = (packet, vc, sent)
+
+    def _start_stream(self, vnet: int):
+        queue = self._queues[vnet]
+        if not queue:
+            return None
+        ready, packet = queue[0]
+        if ready > self.network.cycle:
+            return None
+        vc = self._allocate_local_vc(packet)
+        if vc is None:
+            return None
+        queue.popleft()
+        vc.reserved = True
+        stream = (packet, vc, 0)
+        self._streaming[vnet] = stream
+        return stream
+
+    def _allocate_local_vc(self, packet: Packet) -> Optional[InputVC]:
+        router = self.network.routers[self.node]
+        for vc in router.inputs[PORT_LOCAL]:
+            if vc.vc_index not in self.config.vnet_vcs(packet.ptype.vnet):
+                continue
+            if vc.is_free():
+                return vc
+        return None
+
+    # -- ejection ------------------------------------------------------------
+    def complete_ejection(self, packet: Packet) -> None:
+        """Tail flit left the router: apply eject transform, then deliver."""
+        now = self.network.cycle
+        extra = self.network.eject_transform(self.node, packet)
+        if extra > 0:
+            self.network.stats.eject_decompress_stall_cycles += extra
+            self._pending_delivery.append((now + extra, packet))
+        else:
+            self._deliver(packet)
+
+    def _deliver_pending(self) -> None:
+        if not self._pending_delivery:
+            return
+        now = self.network.cycle
+        remaining = []
+        for ready, packet in self._pending_delivery:
+            if ready <= now:
+                self._deliver(packet)
+            else:
+                remaining.append((ready, packet))
+        self._pending_delivery = remaining
+
+    def _deliver(self, packet: Packet) -> None:
+        now = self.network.cycle
+        packet.ejected_cycle = now
+        self.network.stats.record_ejection(
+            packet.ptype.value, now - packet.injected_cycle
+        )
+        self.network.deliver(self.node, packet)

@@ -1,0 +1,173 @@
+"""The mesh network: routers + NIs + the cycle loop.
+
+The network owns the global cycle counter and three pluggable hooks the CMP
+scheme layer configures:
+
+- ``inject_transform(node, packet) -> extra cycles`` — NI-side work at
+  injection (CNC's NI compressor);
+- ``eject_transform(node, packet) -> extra cycles`` — NI-side work at
+  ejection (CNC's NI decompressor; DISCO's residual decompression);
+- ``packet_priority(packet) -> int`` — the §3.3-B scheduling policy.
+
+A ``router_factory`` lets the DISCO scheme replace the baseline router with
+:class:`repro.core.disco_router.DiscoRouter` without the network knowing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Packet
+from repro.noc.interface import NetworkInterface
+from repro.noc.router import InputVC, Router
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import Mesh
+
+RouterFactory = Callable[[int, NocConfig, "Network"], Router]
+DeliveryHandler = Callable[[int, Packet], None]
+
+
+def _default_inject(node: int, packet: Packet) -> int:
+    return 0
+
+
+def _default_eject(node: int, packet: Packet) -> int:
+    return 0
+
+
+def _default_priority(packet: Packet) -> int:
+    return 1
+
+
+class Network:
+    """A cycle-level mesh NoC instance."""
+
+    def __init__(
+        self,
+        config: NocConfig,
+        router_factory: Optional[RouterFactory] = None,
+    ):
+        self.config = config
+        self.mesh = Mesh(config.width, config.height)
+        self.stats = NetworkStats()
+        self.cycle = 0
+        factory = router_factory or Router
+        self.routers: List[Router] = [
+            factory(node, config, self) for node in range(self.mesh.n_nodes)
+        ]
+        self.nis: List[NetworkInterface] = [
+            NetworkInterface(node, self) for node in range(self.mesh.n_nodes)
+        ]
+        self._arrivals: Dict[int, List[Tuple[InputVC, Packet, bool, bool]]] = {}
+        self._local_deliveries: List[Tuple[int, Packet]] = []
+        self._eject_tokens: List[int] = [0] * self.mesh.n_nodes
+        self._delivery_handler: Optional[DeliveryHandler] = None
+        # Scheme hooks (see module docstring).
+        self.inject_transform: Callable[[int, Packet], int] = _default_inject
+        self.eject_transform: Callable[[int, Packet], int] = _default_eject
+        self.packet_priority: Callable[[Packet], int] = _default_priority
+
+    # -- wiring ---------------------------------------------------------------
+    def set_delivery_handler(self, handler: DeliveryHandler) -> None:
+        """Register the endpoint callback for fully-delivered packets."""
+        self._delivery_handler = handler
+
+    # -- packet movement -------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Inject a packet at its source node's NI."""
+        if not 0 <= packet.src < self.mesh.n_nodes:
+            raise ValueError(f"bad source node {packet.src}")
+        if not 0 <= packet.dst < self.mesh.n_nodes:
+            raise ValueError(f"bad destination node {packet.dst}")
+        if packet.src == packet.dst:
+            # Local traffic never enters the mesh.  Both NI transforms still
+            # apply (e.g. CNC compresses at injection and decompresses at
+            # ejection even for same-tile transfers).
+            packet.injected_cycle = self.cycle
+            self.stats.packets_injected += 1
+            delay = 1 + self.inject_transform(packet.src, packet)
+            delay += self.eject_transform(packet.dst, packet)
+            self._local_deliveries.append((self.cycle + delay, packet))
+            return
+        self.nis[packet.src].inject(packet)
+
+    def schedule_arrival(
+        self,
+        delay: int,
+        target_vc: InputVC,
+        packet: Packet,
+        is_head: bool,
+        is_tail: bool,
+    ) -> None:
+        due = self.cycle + delay
+        self._arrivals.setdefault(due, []).append(
+            (target_vc, packet, is_head, is_tail)
+        )
+
+    def can_eject(self, node: int) -> bool:
+        return self._eject_tokens[node] > 0
+
+    def eject_flit(self, node: int, packet: Packet, is_tail: bool) -> None:
+        self._eject_tokens[node] -= 1
+        self.stats.flits_ejected += 1
+        if is_tail:
+            self.nis[node].complete_ejection(packet)
+
+    def deliver(self, node: int, packet: Packet) -> None:
+        if self._delivery_handler is not None:
+            self._delivery_handler(node, packet)
+
+    # -- the cycle loop ----------------------------------------------------------
+    def tick(self) -> None:
+        """Advance the network by one cycle."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        for node in range(self.mesh.n_nodes):
+            self._eject_tokens[node] = self.config.ejection_bandwidth
+        arrivals = self._arrivals.pop(self.cycle, None)
+        if arrivals:
+            for target_vc, packet, is_head, is_tail in arrivals:
+                target_vc.accept_flit(packet, is_head)
+                self.stats.buffer_writes += 1
+                if is_head:
+                    packet.hops_traversed += 1
+        for router in self.routers:
+            if router.has_work():
+                router.tick()
+        for ni in self.nis:
+            if ni.has_work():
+                ni.tick()
+        self._deliver_local()
+
+    def _deliver_local(self) -> None:
+        if not self._local_deliveries:
+            return
+        remaining = []
+        for ready, packet in self._local_deliveries:
+            if ready <= self.cycle:
+                packet.ejected_cycle = self.cycle
+                self.stats.record_ejection(
+                    packet.ptype.value, self.cycle - packet.injected_cycle
+                )
+                self.deliver(packet.dst, packet)
+            else:
+                remaining.append((ready, packet))
+        self._local_deliveries = remaining
+
+    def quiescent(self) -> bool:
+        """True when nothing is buffered, queued or in flight."""
+        if self._arrivals or self._local_deliveries:
+            return False
+        if any(router.has_work() for router in self.routers):
+            return False
+        return not any(ni.has_work() for ni in self.nis)
+
+    def run_until_quiescent(self, max_cycles: int = 1_000_000) -> int:
+        """Tick until idle; returns the cycle count.  For tests/examples."""
+        start = self.cycle
+        while not self.quiescent():
+            self.tick()
+            if self.cycle - start > max_cycles:
+                raise RuntimeError("network failed to drain (deadlock?)")
+        return self.cycle - start

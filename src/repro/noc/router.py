@@ -1,0 +1,362 @@
+"""The 3-stage virtual-channel router (paper §3.1, Fig. 2).
+
+Pipeline: buffer-write + route computation (RC) -> VC allocation (VA) +
+switch allocation (SA) -> switch traversal (ST) + link traversal.  The
+stages are emulated by processing SA first, then VA, then RC within each
+cycle, so a packet advances exactly one stage per cycle.
+
+Flow control is credit-based: a sender inspects the downstream VC's free
+slots (``depth - buffered - in flight``).  Wormhole allocates a downstream
+VC to a packet from head to tail; virtual cut-through and store-and-forward
+additionally require the whole packet to fit (and, for SAF, to have fully
+arrived) before it advances — the property §3.3-A relies on for whole-packet
+compression.
+
+:class:`Router` exposes the hook points the DISCO router overrides:
+``_post_switch_allocation`` (receives this cycle's SA losers — the
+compression candidates of §3.2 step-1) and ``_on_flit_sent`` (shadow-packet
+abort, step-3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.noc.config import FlowControl, NocConfig
+from repro.noc.flit import Packet
+from repro.noc.routing import xy_route
+from repro.noc.topology import N_PORTS, OPPOSITE, PORT_LOCAL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+
+# InputVC states.
+VC_IDLE = 0
+VC_ROUTING = 1
+VC_VA = 2
+VC_ACTIVE = 3
+
+
+class InputVC:
+    """One virtual-channel buffer of one input port.
+
+    Holds at most one packet at a time (wormhole VC allocation: the VC is
+    bound to a packet from head to tail).  Buffering is tracked as flit
+    counts; ``incoming`` counts flits already launched on the link toward
+    this VC, so ``free_slots`` is the sender-visible credit count.
+    """
+
+    __slots__ = (
+        "router",
+        "port",
+        "vc_index",
+        "depth",
+        "packet",
+        "state",
+        "flits_present",
+        "flits_received",
+        "flits_sent",
+        "incoming",
+        "reserved",
+        "out_port",
+        "out_vc",
+        "engine_job",
+        "wait_cycles",
+    )
+
+    def __init__(self, router: "Router", port: int, vc_index: int, depth: int):
+        self.router = router
+        self.port = port
+        self.vc_index = vc_index
+        self.depth = depth
+        self.packet: Optional[Packet] = None
+        self.state = VC_IDLE
+        self.flits_present = 0
+        self.flits_received = 0
+        self.flits_sent = 0
+        self.incoming = 0
+        self.reserved = False
+        self.out_port = -1
+        self.out_vc: Optional["InputVC"] = None
+        self.engine_job = None  # set by the DISCO engine
+        self.wait_cycles = 0
+
+    # -- credit view --------------------------------------------------------
+    def free_slots(self) -> int:
+        """Sender-visible credits (never negative; decompression overflow
+        is absorbed by the engine's staging registers)."""
+        return max(0, self.depth - self.flits_present - self.incoming)
+
+    def occupancy(self) -> int:
+        """Buffered + in-flight flits (the congestion signal DISCO reads)."""
+        return self.flits_present + self.incoming
+
+    def is_free(self) -> bool:
+        return self.packet is None and not self.reserved and self.incoming == 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def accept_flit(self, packet: Packet, is_head: bool) -> None:
+        """Deliver one flit into the buffer (buffer-write stage)."""
+        if self.incoming > 0:
+            self.incoming -= 1
+        if is_head:
+            if self.packet is not None:
+                raise RuntimeError(
+                    f"VC collision at router {self.router.node} "
+                    f"port {self.port} vc {self.vc_index}"
+                )
+            self.packet = packet
+            self.reserved = False
+            self.state = VC_ROUTING
+            self.flits_received = 0
+            self.flits_sent = 0
+            self.wait_cycles = 0
+        self.flits_present += 1
+        self.flits_received += 1
+
+    def release(self) -> None:
+        """Free the VC after the tail flit has left."""
+        self.packet = None
+        self.state = VC_IDLE
+        self.flits_present = 0
+        self.flits_received = 0
+        self.flits_sent = 0
+        self.out_port = -1
+        self.out_vc = None
+        self.engine_job = None
+        self.wait_cycles = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<VC r{self.router.node} p{self.port} v{self.vc_index} "
+            f"state={self.state} buf={self.flits_present}>"
+        )
+
+
+class Router:
+    """A single mesh router; see module docstring for the pipeline model."""
+
+    def __init__(self, node: int, config: NocConfig, network: "Network"):
+        self.node = node
+        self.config = config
+        self.network = network
+        self.mesh = network.mesh
+        self.inputs: List[List[InputVC]] = [
+            [
+                InputVC(self, port, vc, config.vc_depth)
+                for vc in range(config.vcs_per_port)
+            ]
+            for port in range(N_PORTS)
+        ]
+        #: Flattened VC list — the per-cycle scans iterate this once.
+        self.all_vcs: List[InputVC] = [
+            vc for port_vcs in self.inputs for vc in port_vcs
+        ]
+        self._sa_rr: List[int] = [0] * N_PORTS  # round-robin per output port
+
+    # -- queries used by DISCO and flow control ------------------------------
+    def input_port_occupancy(self, port: int) -> int:
+        """Total flits buffered/in-flight on one input port."""
+        return sum(vc.occupancy() for vc in self.inputs[port])
+
+    def downstream_occupancy(self, out_port: int) -> int:
+        """Occupancy of the input port this output port feeds (credit_in)."""
+        if out_port == PORT_LOCAL:
+            return 0
+        neighbor = self.mesh.neighbor[self.node][out_port]
+        if neighbor is None:
+            return 0
+        return self.network.routers[neighbor].input_port_occupancy(
+            OPPOSITE[out_port]
+        )
+
+    def local_contention(self, out_port: int, exclude: InputVC) -> int:
+        """Flits buffered locally that also head for ``out_port``
+        (credit_out / competitor pressure in Eq. (1)/(2))."""
+        total = 0
+        for vc in self.all_vcs:
+            if vc is exclude or vc.packet is None:
+                continue
+            if vc.out_port == out_port:
+                total += vc.flits_present
+        return total
+
+    def has_work(self) -> bool:
+        """Cheap idle test so the network can skip quiescent routers."""
+        for vc in self.all_vcs:
+            if vc.packet is not None or vc.incoming or vc.reserved:
+                return True
+        return False
+
+    # -- per-cycle pipeline --------------------------------------------------
+    def tick(self) -> None:
+        """One cycle: SA/ST first, then VA, then RC (stage separation)."""
+        self._switch_allocation()
+        self._vc_allocation()
+        self._route_computation()
+
+    # .. stage 3+2b: switch allocation and traversal ..........................
+    def _switch_allocation(self) -> None:
+        requests: Dict[int, List[InputVC]] = {}
+        blocked: List[InputVC] = []
+        for vc in self.all_vcs:
+            if vc.state != VC_ACTIVE or vc.flits_present == 0:
+                continue
+            if not self._can_send(vc):
+                vc.wait_cycles += 1
+                blocked.append(vc)
+                continue
+            requests.setdefault(vc.out_port, []).append(vc)
+
+        used_inputs = set()
+        winners: List[InputVC] = []
+        losers: List[InputVC] = []
+        for out_port in sorted(requests):
+            candidates = [
+                vc for vc in requests[out_port] if vc.port not in used_inputs
+            ]
+            if not candidates:
+                losers.extend(requests[out_port])
+                continue
+            winner = self._arbitrate(out_port, candidates)
+            used_inputs.add(winner.port)
+            winners.append(winner)
+            losers.extend(
+                vc for vc in requests[out_port] if vc is not winner
+            )
+
+        for vc in winners:
+            self._send_flit(vc)
+        for vc in losers:
+            vc.wait_cycles += 1
+            self.network.stats.sa_losses += 1
+        self._post_switch_allocation(losers + blocked)
+
+    def _can_send(self, vc: InputVC) -> bool:
+        packet = vc.packet
+        assert packet is not None
+        if self.config.flow_control is FlowControl.STORE_AND_FORWARD:
+            if vc.flits_received < packet.size_flits:
+                return False
+        if vc.out_port == PORT_LOCAL:
+            return self.network.can_eject(self.node)
+        target = vc.out_vc
+        assert target is not None
+        return target.free_slots() > 0
+
+    def _arbitrate(self, out_port: int, candidates: List[InputVC]) -> InputVC:
+        """Highest effective priority wins; round-robin among equals."""
+        best_priority = max(self._priority(vc) for vc in candidates)
+        top = [vc for vc in candidates if self._priority(vc) == best_priority]
+        pointer = self._sa_rr[out_port]
+        top.sort(key=lambda vc: ((vc.port * 8 + vc.vc_index) - pointer) % 64)
+        self._sa_rr[out_port] = (top[0].port * 8 + top[0].vc_index + 1) % 64
+        return top[0]
+
+    def _priority(self, vc: InputVC) -> int:
+        packet = vc.packet
+        assert packet is not None
+        return self.network.packet_priority(packet)
+
+    def _send_flit(self, vc: InputVC) -> None:
+        packet = vc.packet
+        assert packet is not None
+        stats = self.network.stats
+        if vc.flits_sent == 0:
+            self._on_first_flit_sent(vc)
+        vc.flits_present -= 1
+        vc.flits_sent += 1
+        stats.buffer_reads += 1
+        stats.crossbar_flits += 1
+        stats.sa_grants += 1
+        is_head = vc.flits_sent == 1
+        is_tail = vc.flits_sent == packet.size_flits
+        if vc.out_port == PORT_LOCAL:
+            self.network.eject_flit(self.node, packet, is_tail)
+        else:
+            target = vc.out_vc
+            assert target is not None
+            target.incoming += 1
+            stats.link_flits += 1
+            self.network.schedule_arrival(
+                self.config.link_latency, target, packet, is_head, is_tail
+            )
+        if is_tail:
+            if vc.flits_present != 0:
+                raise RuntimeError(
+                    f"tail sent with {vc.flits_present} flits still buffered"
+                )
+            vc.release()
+
+    # .. stage 2a: VC allocation ..............................................
+    def _vc_allocation(self) -> None:
+        for vc in self.all_vcs:
+            if vc.state != VC_VA:
+                continue
+            packet = vc.packet
+            assert packet is not None
+            if vc.out_port == PORT_LOCAL:
+                vc.state = VC_ACTIVE
+                self.network.stats.va_grants += 1
+                continue
+            target = self._allocate_downstream_vc(vc, packet)
+            if target is None:
+                vc.wait_cycles += 1
+                continue
+            target.reserved = True
+            vc.out_vc = target
+            vc.state = VC_ACTIVE
+            self.network.stats.va_grants += 1
+
+    def _allocate_downstream_vc(
+        self, vc: InputVC, packet: Packet
+    ) -> Optional[InputVC]:
+        neighbor = self.mesh.neighbor[self.node][vc.out_port]
+        assert neighbor is not None, "XY routing never exits the mesh"
+        in_port = OPPOSITE[vc.out_port]
+        whole_packet = self.config.flow_control in (
+            FlowControl.VIRTUAL_CUT_THROUGH,
+            FlowControl.STORE_AND_FORWARD,
+        )
+        if whole_packet and packet.size_flits > self.config.vc_depth:
+            raise RuntimeError(
+                f"{self.config.flow_control.value} needs vc_depth >= packet "
+                f"size ({packet.size_flits} flits > {self.config.vc_depth})"
+            )
+        router = self.network.routers[neighbor]
+        for candidate in router.inputs[in_port]:
+            if candidate.vc_index not in self.config.vnet_vcs(
+                packet.ptype.vnet
+            ):
+                continue
+            if not candidate.is_free():
+                continue
+            if whole_packet and candidate.free_slots() < packet.size_flits:
+                continue
+            return candidate
+        return None
+
+    # .. stage 1: route computation ...........................................
+    def _route_computation(self) -> None:
+        for vc in self.all_vcs:
+            if vc.state != VC_ROUTING:
+                continue
+            packet = vc.packet
+            assert packet is not None
+            vc.out_port = xy_route(self.mesh, self.node, packet.dst)
+            vc.state = VC_VA
+
+    # -- DISCO hook points ----------------------------------------------------
+    def _post_switch_allocation(self, losers: List[InputVC]) -> None:
+        """Called each cycle with the VCs that wanted but failed to send.
+
+        The baseline router ignores them; the DISCO router feeds them to
+        the arbitrator as compression candidates (§3.2 step-1).
+        """
+
+    def _on_first_flit_sent(self, vc: InputVC) -> None:
+        """Called when a packet starts leaving this router.
+
+        The DISCO router uses this to abort an in-flight (de)compression of
+        the shadow packet (§3.2 step-3, non-blocking compression).
+        """

@@ -1,0 +1,68 @@
+"""Event counters and latency accumulators for the NoC.
+
+Every countable event feeds the Orion-style energy model
+(:mod:`repro.energy.noc_energy`); latency accumulators feed the Fig. 5/6/8
+performance metric.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate NoC event counts for one simulation."""
+
+    cycles: int = 0
+    packets_injected: int = 0
+    packets_ejected: int = 0
+    flits_injected: int = 0
+    flits_ejected: int = 0
+    link_flits: int = 0
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    crossbar_flits: int = 0
+    va_grants: int = 0
+    sa_grants: int = 0
+    sa_losses: int = 0
+
+    # DISCO / compression events
+    compressions: int = 0
+    decompressions: int = 0
+    separate_compressions: int = 0
+    aborted_jobs: int = 0
+    incompressible: int = 0
+    flits_saved: int = 0
+    ni_compressions: int = 0
+    ni_decompressions: int = 0
+    eject_decompress_stall_cycles: int = 0
+
+    # Latency accumulators
+    total_packet_latency: int = 0
+    latency_by_type: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    count_by_type: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record_ejection(self, ptype: str, latency: int) -> None:
+        self.packets_ejected += 1
+        self.total_packet_latency += latency
+        self.latency_by_type[ptype] += latency
+        self.count_by_type[ptype] += 1
+
+    @property
+    def avg_packet_latency(self) -> float:
+        if self.packets_ejected == 0:
+            return 0.0
+        return self.total_packet_latency / self.packets_ejected
+
+    def avg_latency_of(self, ptype: str) -> float:
+        count = self.count_by_type.get(ptype, 0)
+        if count == 0:
+            return 0.0
+        return self.latency_by_type[ptype] / count

@@ -1,0 +1,74 @@
+"""2-D mesh topology and port numbering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Router port indices.
+PORT_LOCAL = 0
+PORT_EAST = 1
+PORT_WEST = 2
+PORT_NORTH = 3
+PORT_SOUTH = 4
+
+PORT_NAMES = {
+    PORT_LOCAL: "local",
+    PORT_EAST: "east",
+    PORT_WEST: "west",
+    PORT_NORTH: "north",
+    PORT_SOUTH: "south",
+}
+
+#: The port on the neighbouring router that a given output port feeds.
+OPPOSITE = {
+    PORT_EAST: PORT_WEST,
+    PORT_WEST: PORT_EAST,
+    PORT_NORTH: PORT_SOUTH,
+    PORT_SOUTH: PORT_NORTH,
+}
+
+N_PORTS = 5
+
+
+class Mesh:
+    """A ``width x height`` mesh; node ids are row-major."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.n_nodes = width * height
+        # neighbor[node][port] -> neighbouring node id or None.
+        self.neighbor: List[Dict[int, Optional[int]]] = []
+        for node in range(self.n_nodes):
+            x, y = self.coords(node)
+            self.neighbor.append(
+                {
+                    PORT_EAST: self.node_at(x + 1, y),
+                    PORT_WEST: self.node_at(x - 1, y),
+                    PORT_NORTH: self.node_at(x, y - 1),
+                    PORT_SOUTH: self.node_at(x, y + 1),
+                }
+            )
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """Node id -> (x, y); x grows east, y grows south."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> Optional[int]:
+        """(x, y) -> node id, or None outside the mesh."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            return y * self.width + x
+        return None
+
+    def links(self) -> List[Tuple[int, int]]:
+        """All directed links (src node, dst node)."""
+        out = []
+        for node in range(self.n_nodes):
+            for port, nbr in self.neighbor[node].items():
+                if nbr is not None:
+                    out.append((node, nbr))
+        return out

@@ -1,0 +1,39 @@
+"""Synthetic PARSEC-like workloads for the DISCO reproduction.
+
+The paper evaluates on PARSEC-2.1 running under gem5.  Neither is available
+here, so this package provides the substitution documented in DESIGN.md §1:
+per-benchmark *profiles* that reproduce the three workload properties DISCO's
+results depend on — the shape of L1-miss traffic through the NoC, the value
+compressibility of cache lines, and LLC capacity pressure — as deterministic
+synthetic traces.
+
+Public surface:
+
+- :mod:`repro.workloads.patterns` — cache-line value generators;
+- :class:`repro.workloads.profiles.WorkloadProfile` and
+  :func:`repro.workloads.profiles.get_profile` — the 13 PARSEC benchmarks;
+- :class:`repro.workloads.corpus.ValuePool` — address → line-content mapping;
+- :func:`repro.workloads.trace.generate_traces` — per-core access streams.
+"""
+
+from repro.workloads.patterns import PATTERN_GENERATORS, generate_line
+from repro.workloads.profiles import (
+    PARSEC_BENCHMARKS,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.corpus import ValuePool, sample_corpus
+from repro.workloads.trace import MemoryAccess, TraceSet, generate_traces
+
+__all__ = [
+    "PATTERN_GENERATORS",
+    "generate_line",
+    "PARSEC_BENCHMARKS",
+    "WorkloadProfile",
+    "get_profile",
+    "ValuePool",
+    "sample_corpus",
+    "MemoryAccess",
+    "TraceSet",
+    "generate_traces",
+]

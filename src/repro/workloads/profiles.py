@@ -1,0 +1,261 @@
+"""PARSEC-2.1 benchmark profiles (the gem5+PARSEC substitution).
+
+Each profile captures, per benchmark, the workload properties that drive the
+DISCO results: value-pattern mix (compressibility), total working-set size
+(LLC pressure), read/write mix, sharing degree (coherence traffic), temporal
+and spatial locality, and memory intensity.  The numbers are synthesized
+from the published PARSEC characterization literature (Bienia et al.,
+PACT'08) at the level of "canneal has a huge pointer-chasing working set,
+swaptions is cache-resident float code" — i.e. the level that matters for
+reproducing the *shape* of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic stand-in for one PARSEC benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (PARSEC-2.1 application).
+    pattern_mix:
+        ``pattern name -> weight`` over :data:`repro.workloads.patterns.
+        PATTERN_GENERATORS`; controls line compressibility.
+    working_set_lines:
+        Total distinct cache lines touched (across all cores).  Experiments
+        size the (scaled) LLC against this to reproduce capacity pressure.
+    shared_fraction:
+        Probability an access targets the shared region (drives coherence
+        and NUCA bank spreading).
+    read_fraction:
+        Fraction of accesses that are loads.
+    locality:
+        Probability of re-referencing a recently used line (L1 hit driver).
+    sequential_run:
+        Mean run length of consecutive-line accesses (spatial locality).
+    mean_gap:
+        Mean compute cycles between successive memory accesses of one core
+        (memory intensity; lower = more NoC pressure).
+    """
+
+    name: str
+    pattern_mix: Dict[str, float]
+    working_set_lines: int
+    shared_fraction: float
+    read_fraction: float
+    locality: float
+    sequential_run: int
+    mean_gap: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.pattern_mix:
+            raise ValueError("pattern_mix must not be empty")
+        total = sum(self.pattern_mix.values())
+        if total <= 0:
+            raise ValueError("pattern_mix weights must sum to > 0")
+        for probability in (
+            self.shared_fraction,
+            self.read_fraction,
+            self.locality,
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError("profile probabilities must be in [0, 1]")
+        if self.working_set_lines < 16:
+            raise ValueError("working_set_lines too small to be meaningful")
+        if self.sequential_run < 1 or self.mean_gap <= 0:
+            raise ValueError("sequential_run >= 1 and mean_gap > 0 required")
+
+    def normalized_mix(self) -> List[Tuple[str, float]]:
+        """Pattern mix as cumulative (name, cumulative weight) pairs."""
+        total = sum(self.pattern_mix.values())
+        cumulative = 0.0
+        out = []
+        for name in sorted(self.pattern_mix):
+            cumulative += self.pattern_mix[name] / total
+            out.append((name, cumulative))
+        return out
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+#: The 13 PARSEC-2.1 applications, as synthetic profiles.
+PARSEC_BENCHMARKS: Dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in (
+        _profile(
+            name="blackscholes",
+            description="option pricing; small float working set, read-heavy",
+            pattern_mix={"float": 0.45, "narrow32": 0.2, "zero": 0.25, "repeat": 0.1},
+            working_set_lines=3000,
+            shared_fraction=0.10,
+            read_fraction=0.80,
+            locality=0.86,
+            sequential_run=8,
+            mean_gap=18.0,
+        ),
+        _profile(
+            name="bodytrack",
+            description="computer vision; mixed float/int, moderate sharing",
+            pattern_mix={"float": 0.3, "narrow32": 0.25, "zero": 0.2,
+                         "pointer": 0.1, "random": 0.15},
+            working_set_lines=5500,
+            shared_fraction=0.25,
+            read_fraction=0.72,
+            locality=0.8,
+            sequential_run=6,
+            mean_gap=16.0,
+        ),
+        _profile(
+            name="canneal",
+            description="cache-hostile pointer chasing over a huge netlist",
+            pattern_mix={"pointer": 0.4, "narrow64": 0.15, "random": 0.25,
+                         "zero": 0.15, "sparse": 0.05},
+            working_set_lines=12000,
+            shared_fraction=0.35,
+            read_fraction=0.70,
+            locality=0.62,
+            sequential_run=1,
+            mean_gap=14.0,
+        ),
+        _profile(
+            name="dedup",
+            description="dedup pipeline; text + hash data, write-heavy",
+            pattern_mix={"text": 0.3, "random": 0.3, "zero": 0.2,
+                         "narrow32": 0.15, "repeat": 0.05},
+            working_set_lines=8000,
+            shared_fraction=0.30,
+            read_fraction=0.58,
+            locality=0.76,
+            sequential_run=10,
+            mean_gap=15.0,
+        ),
+        _profile(
+            name="facesim",
+            description="physics simulation; large float arrays",
+            pattern_mix={"float": 0.5, "zero": 0.2, "narrow32": 0.1,
+                         "sparse": 0.1, "random": 0.1},
+            working_set_lines=9000,
+            shared_fraction=0.15,
+            read_fraction=0.68,
+            locality=0.78,
+            sequential_run=12,
+            mean_gap=16.0,
+        ),
+        _profile(
+            name="ferret",
+            description="content similarity search; mixed media and indices",
+            pattern_mix={"float": 0.25, "text": 0.2, "pointer": 0.2,
+                         "narrow32": 0.15, "random": 0.2},
+            working_set_lines=7500,
+            shared_fraction=0.30,
+            read_fraction=0.74,
+            locality=0.78,
+            sequential_run=5,
+            mean_gap=16.0,
+        ),
+        _profile(
+            name="fluidanimate",
+            description="SPH fluid dynamics; floats with sparse cell lists",
+            pattern_mix={"float": 0.45, "sparse": 0.15, "zero": 0.2,
+                         "narrow32": 0.1, "pointer": 0.1},
+            working_set_lines=7000,
+            shared_fraction=0.20,
+            read_fraction=0.65,
+            locality=0.8,
+            sequential_run=7,
+            mean_gap=15.0,
+        ),
+        _profile(
+            name="freqmine",
+            description="frequent itemset mining; integer FP-trees",
+            pattern_mix={"narrow32": 0.35, "pointer": 0.25, "zero": 0.2,
+                         "narrow64": 0.1, "random": 0.1},
+            working_set_lines=8500,
+            shared_fraction=0.20,
+            read_fraction=0.76,
+            locality=0.75,
+            sequential_run=4,
+            mean_gap=15.0,
+        ),
+        _profile(
+            name="raytrace",
+            description="real-time raytracing; BVH pointers + float geometry",
+            pattern_mix={"float": 0.35, "pointer": 0.3, "zero": 0.15,
+                         "narrow32": 0.1, "random": 0.1},
+            working_set_lines=8000,
+            shared_fraction=0.25,
+            read_fraction=0.82,
+            locality=0.78,
+            sequential_run=4,
+            mean_gap=15.0,
+        ),
+        _profile(
+            name="streamcluster",
+            description="online clustering; streaming float points",
+            pattern_mix={"float": 0.55, "zero": 0.15, "narrow32": 0.15,
+                         "repeat": 0.05, "random": 0.1},
+            working_set_lines=11000,
+            shared_fraction=0.30,
+            read_fraction=0.78,
+            locality=0.6,
+            sequential_run=16,
+            mean_gap=14.0,
+        ),
+        _profile(
+            name="swaptions",
+            description="HJM swaption pricing; tiny cache-resident float set",
+            pattern_mix={"float": 0.5, "narrow32": 0.2, "zero": 0.25,
+                         "repeat": 0.05},
+            working_set_lines=1500,
+            shared_fraction=0.05,
+            read_fraction=0.80,
+            locality=0.9,
+            sequential_run=6,
+            mean_gap=20.0,
+        ),
+        _profile(
+            name="vips",
+            description="image transforms; media integers and buffers",
+            pattern_mix={"narrow32": 0.3, "float": 0.2, "zero": 0.2,
+                         "repeat": 0.1, "random": 0.2},
+            working_set_lines=7500,
+            shared_fraction=0.15,
+            read_fraction=0.66,
+            locality=0.76,
+            sequential_run=14,
+            mean_gap=15.0,
+        ),
+        _profile(
+            name="x264",
+            description="H.264 encoding; motion vectors + residual blocks",
+            pattern_mix={"narrow32": 0.35, "random": 0.25, "zero": 0.2,
+                         "repeat": 0.1, "sparse": 0.1},
+            working_set_lines=7000,
+            shared_fraction=0.20,
+            read_fraction=0.62,
+            locality=0.78,
+            sequential_run=10,
+            mean_gap=14.0,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a benchmark profile by PARSEC application name."""
+    profile = PARSEC_BENCHMARKS.get(name)
+    if profile is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; "
+            f"choose from {sorted(PARSEC_BENCHMARKS)}"
+        )
+    return profile

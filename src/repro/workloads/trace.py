@@ -1,0 +1,234 @@
+"""Per-core synthetic memory-access trace generation.
+
+A trace is a per-core list of :class:`MemoryAccess` records ``(gap,
+is_write, address)``: the core waits ``gap`` compute cycles after the
+previous access completes (or issues, for non-blocking misses), then issues
+a load or store to ``address`` (a line-granular address).
+
+Address streams are produced from the profile's locality model:
+
+- *temporal locality*: with probability ``profile.locality`` the access
+  re-references one of the last few distinct lines (an L1-hit driver);
+- *spatial locality*: region accesses walk sequentially with mean run
+  length ``profile.sequential_run`` before jumping;
+- *jumps* are skewed toward low addresses of the region (a cheap stand-in
+  for a Zipf reuse distribution);
+- *sharing*: with probability ``profile.shared_fraction`` the target region
+  is the shared region (the same address space for every core), otherwise
+  the core's private region.
+
+Address layout: the shared region occupies line addresses ``[0,
+shared_lines)``; core ``i``'s private region starts at ``PRIVATE_BASE * (i
++ 1)``.  All addresses are line numbers, not byte addresses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, NamedTuple
+
+from repro.workloads.corpus import ValuePool
+from repro.workloads.profiles import WorkloadProfile
+
+#: Private-region spacing; large enough that regions never collide and
+#: odd so that different cores' regions do not alias onto the same bank
+#: and set indices (power-of-two spacing would make every core's line i
+#: land in the identical (bank, set) slot).
+PRIVATE_BASE = (1 << 32) + 7919
+
+#: Fraction of the working set that is the shared region.
+SHARED_WS_FRACTION = 0.25
+
+#: Size of the temporal-reuse window (distinct recent lines).
+REUSE_WINDOW = 32
+
+
+class MemoryAccess(NamedTuple):
+    """One memory operation of a core's trace."""
+
+    gap: int
+    is_write: bool
+    address: int
+
+
+@dataclass
+class TraceSet:
+    """The full input of one simulation: traces + the value pool."""
+
+    profile: WorkloadProfile
+    n_cores: int
+    seed: int
+    traces: List[List[MemoryAccess]]
+    pool: ValuePool
+    #: Per-core length of the warmup sweep prefix (0 when disabled); the
+    #: system adds these to its cold-start exclusion window.
+    sweep_lengths: List[int] = field(default_factory=list)
+    #: Region geometry (line counts), recorded for prefill ordering.
+    shared_lines: int = 0
+    private_lines: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+    def touched_addresses(self) -> set:
+        out = set()
+        for trace in self.traces:
+            for access in trace:
+                out.add(access.address)
+        return out
+
+    def _region_offset(self, addr: int) -> int:
+        if addr < PRIVATE_BASE:
+            return addr  # shared region
+        core = addr // PRIVATE_BASE - 1
+        return addr - PRIVATE_BASE * (core + 1)
+
+    def _tier_of(self, addr: int) -> int:
+        """0 = cold tail, 1 = warm, 2 = hot (per the walker's tiers)."""
+        n_lines = (
+            self.shared_lines if addr < PRIVATE_BASE else self.private_lines
+        )
+        if n_lines <= 0:
+            return 0
+        offset = self._region_offset(addr)
+        if offset < max(1, int(n_lines * _HOT_FRACTION)):
+            return 2
+        if offset < max(1, int(n_lines * _WARM_FRACTION)):
+            return 1
+        return 0
+
+    def prefill_order(self) -> List[int]:
+        """Footprint ordered cold -> warm -> hot for LLC warm-start.
+
+        Inserting in this order leaves the hot/warm tiers (the
+        steady-state resident set) most-recently-used, interleaved fairly
+        across all cores' regions and the shared region, so a warm-started
+        LLC approximates the state a long cold phase would converge to.
+        """
+        return sorted(
+            self.touched_addresses(),
+            key=lambda addr: (
+                self._tier_of(addr),
+                self._region_offset(addr),
+                addr,
+            ),
+        )
+
+
+#: Three-tier reuse structure of a region: a small *hot* subset that the
+#: L1s capture, a mid-size *warm* subset whose residency is decided by LLC
+#: capacity (this is where compression's extra effective capacity pays
+#: off), and the full-footprint cold tail.  Fractions of jumps landing in
+#: each tier, and each tier's share of the region:
+_HOT_FRACTION, _HOT_P = 0.04, 0.45
+_WARM_FRACTION, _WARM_P = 0.50, 0.50
+# remaining probability: uniform over the whole region (cold tail)
+
+
+class _RegionWalker:
+    """Sequential-run + tiered-jump walker over one address region.
+
+    Real reuse distributions are heavily skewed; the explicit hot/warm/cold
+    tiers let the scaled experiments put the warm working set right at the
+    (un)compressed LLC boundary, reproducing the paper's capacity-pressure
+    regime (DESIGN.md).  Between jumps the walker runs sequentially
+    (spatial locality).
+    """
+
+    def __init__(self, base: int, n_lines: int, run_length: int,
+                 rng: random.Random):
+        self.base = base
+        self.n_lines = max(1, n_lines)
+        self.run_length = max(1, run_length)
+        self.rng = rng
+        self.hot_lines = max(1, int(self.n_lines * _HOT_FRACTION))
+        self.warm_lines = max(1, int(self.n_lines * _WARM_FRACTION))
+        self.cursor = 0
+
+    def next_address(self) -> int:
+        if self.rng.random() < 1.0 / self.run_length:
+            tier = self.rng.random()
+            if tier < _HOT_P:
+                self.cursor = self.rng.randrange(self.hot_lines)
+            elif tier < _HOT_P + _WARM_P:
+                self.cursor = self.rng.randrange(self.warm_lines)
+            else:
+                self.cursor = self.rng.randrange(self.n_lines)
+        else:
+            self.cursor = (self.cursor + 1) % self.n_lines
+        return self.base + self.cursor
+
+
+def generate_traces(
+    profile: WorkloadProfile,
+    n_cores: int,
+    accesses_per_core: int,
+    seed: int = 1,
+    line_size: int = 64,
+    warmup_sweep: bool = False,
+) -> TraceSet:
+    """Generate deterministic per-core traces for one benchmark profile.
+
+    With ``warmup_sweep`` each trace starts with a linear read sweep of the
+    core's private region plus its slice of the shared region.  The
+    simulator's default warm-start mechanism is cheaper: ``CmpSystem``
+    pre-fills the LLC directly (checkpoint loading) instead of simulating
+    thousands of serialized cold DRAM fills, so the sweep is off by
+    default.
+    """
+    if n_cores < 1 or accesses_per_core < 1:
+        raise ValueError("need at least one core and one access")
+    shared_lines = max(16, int(profile.working_set_lines * SHARED_WS_FRACTION))
+    private_lines = max(
+        16, (profile.working_set_lines - shared_lines) // n_cores
+    )
+    pool = ValuePool(profile, seed=seed, line_size=line_size)
+    traces: List[List[MemoryAccess]] = []
+    sweep_lengths: List[int] = []
+    for core in range(n_cores):
+        rng = random.Random((seed * 31_337) ^ (core * 0x5BD1E995) ^ 0xC0FFEE)
+        shared_walker = _RegionWalker(
+            0, shared_lines, profile.sequential_run, rng
+        )
+        private_walker = _RegionWalker(
+            PRIVATE_BASE * (core + 1), private_lines,
+            profile.sequential_run, rng,
+        )
+        recent: List[int] = []
+        trace: List[MemoryAccess] = []
+        if warmup_sweep:
+            share_lo = shared_lines * core // n_cores
+            share_hi = shared_lines * (core + 1) // n_cores
+            for line in range(share_lo, share_hi):
+                trace.append(MemoryAccess(1, False, line))
+            private_base = PRIVATE_BASE * (core + 1)
+            for line in range(private_lines):
+                trace.append(MemoryAccess(1, False, private_base + line))
+        sweep_lengths.append(len(trace))
+        for _ in range(accesses_per_core):
+            if recent and rng.random() < profile.locality:
+                address = recent[rng.randrange(len(recent))]
+            elif rng.random() < profile.shared_fraction:
+                address = shared_walker.next_address()
+            else:
+                address = private_walker.next_address()
+            if not recent or recent[-1] != address:
+                recent.append(address)
+                if len(recent) > REUSE_WINDOW:
+                    recent.pop(0)
+            is_write = rng.random() >= profile.read_fraction
+            gap = max(1, int(rng.expovariate(1.0 / profile.mean_gap)))
+            trace.append(MemoryAccess(gap, is_write, address))
+        traces.append(trace)
+    return TraceSet(
+        profile=profile,
+        n_cores=n_cores,
+        seed=seed,
+        traces=traces,
+        pool=pool,
+        sweep_lengths=sweep_lengths,
+        shared_lines=shared_lines,
+        private_lines=private_lines,
+    )

@@ -1,0 +1,102 @@
+"""Tests for the adaptive-threshold extension (deferred by the paper)."""
+
+import pytest
+
+from repro.core import DiscoConfig, make_disco_router_factory
+from repro.core.engine import JOB_COMPRESS, JOB_DECOMPRESS
+from repro.noc import Network, NocConfig
+from repro.noc.flit import Packet, PacketType
+from repro.noc.topology import PORT_EAST, PORT_WEST
+
+
+def make_router(**disco_kwargs):
+    network = Network(
+        NocConfig(),
+        router_factory=make_disco_router_factory(DiscoConfig(**disco_kwargs)),
+    )
+    return network.routers[5]
+
+
+def stage_candidate(router, flits=4):
+    vc = router.inputs[PORT_WEST][1]
+    vc.packet = Packet(
+        PacketType.RESPONSE, 0, 3, line=b"\x05" * 64, compressible=True
+    )
+    vc.out_port = PORT_EAST
+    vc.flits_received = flits
+    vc.flits_present = flits
+    return vc
+
+
+def set_downstream_occupancy(router, flits):
+    neighbor = router.network.routers[6]
+    neighbor.inputs[PORT_WEST][1].flits_present = flits
+
+
+def test_static_thresholds_are_constant():
+    router = make_router(adaptive_thresholds=False, cc_threshold=2.0)
+    arb = router.arbitrator
+    assert arb._threshold(JOB_COMPRESS) == 2.0
+    arb._observe_congestion(50.0)
+    assert arb._threshold(JOB_COMPRESS) == 2.0
+
+
+def test_congested_router_lowers_its_bar():
+    router = make_router(
+        adaptive_thresholds=True, cc_threshold=2.0, adaptation_rate=0.5,
+        adaptation_gain=1.0,
+    )
+    arb = router.arbitrator
+    before = arb._threshold(JOB_COMPRESS)
+    for _ in range(20):
+        arb._observe_congestion(10.0)  # persistent heavy congestion
+    after = arb._threshold(JOB_COMPRESS)
+    assert after < before
+
+
+def test_quiet_router_raises_its_bar():
+    router = make_router(
+        adaptive_thresholds=True, cc_threshold=2.0, adaptation_rate=0.5,
+        adaptation_gain=1.0,
+    )
+    arb = router.arbitrator
+    for _ in range(20):
+        arb._observe_congestion(10.0)
+    congested = arb._threshold(JOB_COMPRESS)
+    for _ in range(50):
+        arb._observe_congestion(0.0)  # long quiet spell
+    quiet = arb._threshold(JOB_COMPRESS)
+    assert quiet > congested
+
+
+def test_adaptation_feeds_from_consider():
+    router = make_router(
+        adaptive_thresholds=True, cc_threshold=5.0, adaptation_rate=1.0,
+        adaptation_gain=1.0,
+    )
+    vc = stage_candidate(router)
+    set_downstream_occupancy(router, 7)
+    router.arbitrator.consider([vc], cycle=0)
+    assert router.arbitrator._congestion_ema == pytest.approx(7.0)
+
+
+def test_adaptive_system_runs_end_to_end():
+    from repro.cmp import CmpSystem, SystemConfig, make_scheme
+    from repro.workloads import generate_traces, get_profile
+
+    config = SystemConfig.scaled_4x4()
+    scheme = make_scheme(
+        "disco", disco=DiscoConfig(adaptive_thresholds=True)
+    )
+    traces = generate_traces(get_profile("canneal"), 16, 200, seed=3)
+    result = CmpSystem(config, scheme, traces).run()
+    assert result.cycles > 0
+    stats = result.network
+    assert stats.packets_injected == stats.packets_ejected
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DiscoConfig(adaptation_rate=0.0)
+    with pytest.raises(ValueError):
+        DiscoConfig(adaptation_rate=1.5)

@@ -1,0 +1,153 @@
+"""Tests for the DISCO delta compressor and separate-compression session."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.delta import (
+    DeltaCompressor,
+    SeparateDeltaSession,
+    _HEADER_BITS,
+)
+
+
+def make_line_from_chunks(values, width=8, line=64):
+    return b"".join(v.to_bytes(width, "little") for v in values)[:line]
+
+
+class TestDeltaCompressor:
+    def test_zero_line(self):
+        algo = DeltaCompressor()
+        compressed = algo.compress(b"\x00" * 64)
+        assert compressed.size_bits == _HEADER_BITS + 1
+        assert algo.decompress(compressed) == b"\x00" * 64
+
+    def test_repeated_chunk_line(self):
+        algo = DeltaCompressor()
+        line = (0xDEADBEEFCAFEF00D).to_bytes(8, "little") * 8
+        compressed = algo.compress(line)
+        assert compressed.size_bits == _HEADER_BITS + 64 + 1
+        assert algo.decompress(compressed) == line
+
+    def test_first_chunk_base_compression(self):
+        base = 0x7000_0000_0000
+        values = [base + i * 8 for i in range(8)]  # deltas fit one byte
+        line = make_line_from_chunks(values)
+        algo = DeltaCompressor()
+        compressed = algo.compress(line)
+        # header + 8B base + 7 x (select bit + 1B delta) + tag bit
+        assert compressed.size_bits == _HEADER_BITS + 64 + 7 * 9 + 1
+        assert algo.decompress(compressed) == line
+
+    def test_zero_base_handles_small_values(self):
+        values = [100, 3, 250, 17, 99, 0, 255, 42]
+        line = make_line_from_chunks(values)
+        algo = DeltaCompressor()
+        compressed = algo.compress(line)
+        assert compressed.compressible
+        assert algo.decompress(compressed) == line
+
+    def test_mixed_bases(self):
+        base = 1 << 40
+        values = [base, base + 4, 7, base + 100, 0, base + 9, 3, base + 80]
+        line = make_line_from_chunks(values)
+        algo = DeltaCompressor()
+        compressed = algo.compress(line)
+        assert compressed.compressible
+        assert algo.decompress(compressed) == line
+
+    def test_negative_deltas(self):
+        base = 1 << 30
+        values = [base, base - 100, base - 1, base + 127, base - 128,
+                  base + 1, base - 50, base + 50]
+        line = make_line_from_chunks(values)
+        algo = DeltaCompressor()
+        assert algo.decompress(algo.compress(line)) == line
+
+    def test_incompressible_random(self):
+        rng = random.Random(99)
+        line = rng.getrandbits(512).to_bytes(64, "little")
+        algo = DeltaCompressor()
+        compressed = algo.compress(line)
+        assert algo.decompress(compressed) == line
+
+    def test_unit_validation(self):
+        with pytest.raises(ValueError):
+            DeltaCompressor(units=((8, 8),))  # delta not narrower
+        with pytest.raises(ValueError):
+            DeltaCompressor(line_size=64, units=((48, 1),))
+
+    def test_four_byte_base_geometry_wins_for_narrow32(self):
+        values32 = [1000 + i for i in range(16)]
+        line = b"".join(v.to_bytes(4, "little") for v in values32)
+        algo = DeltaCompressor()
+        compressed = algo.compress(line)
+        # (4,1) geometry: header + 32 base + 15*(1+8) bits
+        assert compressed.size_bits == _HEADER_BITS + 32 + 15 * 9 + 1
+        assert algo.decompress(compressed) == line
+
+
+class TestSeparateDeltaSession:
+    def test_matches_content_after_streaming(self):
+        base = 0x5000_0000
+        values = [base + i for i in range(8)]
+        line = make_line_from_chunks(values)
+        session = SeparateDeltaSession()
+        session.feed(line[:16])  # two flits arrive first (paper example)
+        session.feed(line[16:])
+        assert session.reconstruct() == line
+
+    def test_streaming_size_never_smaller_than_whole(self):
+        """§3.3-A: separate compression sacrifices compression rate."""
+        rng = random.Random(5)
+        algo = DeltaCompressor()
+        for _ in range(40):
+            base = rng.randrange(1 << 40)
+            values = [
+                (base + rng.randrange(-100, 100)) & ((1 << 64) - 1)
+                for _ in range(8)
+            ]
+            line = make_line_from_chunks(values)
+            whole = algo.compress(line)
+            session = SeparateDeltaSession()
+            session.feed(line)
+            separate = session.result()
+            assert separate.size_bits >= whole.size_bits - _HEADER_BITS
+
+    def test_partial_feed_requires_whole_chunks(self):
+        session = SeparateDeltaSession()
+        with pytest.raises(ValueError):
+            session.feed(b"\x00" * 3)
+
+    def test_escape_chunks_roundtrip(self):
+        rng = random.Random(11)
+        line = rng.getrandbits(512).to_bytes(64, "little")
+        session = SeparateDeltaSession()
+        for i in range(0, 64, 8):
+            session.feed(line[i : i + 8])
+        assert session.reconstruct() == line
+        result = session.result()
+        assert result.size_bits <= 8 * 64 + 1 + 2 * 8  # tags bounded
+
+    def test_bits_accumulate_per_feed(self):
+        session = SeparateDeltaSession()
+        added_first = session.feed(b"\x01" * 8)
+        added_second = session.feed(b"\x01" * 8)
+        assert added_first == 2 + 64  # raw base chunk + tag
+        assert added_second == 2 + 8  # one-byte delta vs base + tag
+        assert session.size_bits == added_first + added_second
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SeparateDeltaSession(chunk_width=4, delta_width=4)
+
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=8, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_roundtrip_property(self, values):
+        line = make_line_from_chunks(values)
+        session = SeparateDeltaSession()
+        session.feed(line[:24])
+        session.feed(line[24:])
+        assert session.reconstruct() == line

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests keep them from
+rotting as the library evolves.  Each example's knobs are shrunk to keep
+the suite fast.
+"""
+
+import os
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "examples")
+)
+if _EXAMPLES not in sys.path:
+    sys.path.insert(0, _EXAMPLES)
+
+
+@pytest.fixture(autouse=True)
+def _clean_argv(monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["example"])
+
+
+def test_quickstart_components(capsys):
+    quickstart = __import__("quickstart")
+    quickstart.demo_compression()
+    output = capsys.readouterr().out
+    assert "Cache-line compression" in output
+    assert "ratio" in output
+
+
+def test_compression_survey_small(capsys):
+    survey = __import__("compression_survey")
+    survey.survey(lines_per_benchmark=20)
+    output = capsys.readouterr().out
+    assert "average" in output
+
+
+def test_full_system_comparison_small(capsys):
+    comparison = __import__("full_system_comparison")
+    comparison.main("swaptions", 120)
+    output = capsys.readouterr().out
+    assert "disco" in output
+    assert "vs ideal" in output
+
+
+def test_flow_control_study_components():
+    study = __import__("flow_control_study")
+    from repro.noc.config import FlowControl
+
+    stats = study.run(FlowControl.WORMHOLE, 8, True)
+    assert stats.packets_ejected > 0
+
+
+def test_noc_congestion_study_components():
+    study = __import__("noc_congestion_study")
+    network = study.build_disco_network()
+    from repro.noc.traffic import SyntheticTraffic, TrafficConfig
+
+    SyntheticTraffic(
+        network, TrafficConfig(injection_rate=0.05, seed=1)
+    ).run(300)
+    assert network.stats.packets_ejected > 0

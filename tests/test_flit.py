@@ -1,0 +1,77 @@
+"""Packet sizing and compression state-change tests."""
+
+import pytest
+
+from repro.compression import get_algorithm
+from repro.noc.flit import Packet, PacketType, VNET_REQUEST, VNET_RESPONSE
+
+
+def test_control_packet_is_single_flit():
+    packet = Packet(PacketType.REQUEST, 0, 5)
+    assert packet.size_flits == 1
+    assert not packet.carries_data
+
+
+def test_data_packet_sizing():
+    packet = Packet(PacketType.RESPONSE, 0, 5, line=b"\x00" * 64)
+    assert packet.size_flits == 9  # head + 8 payload flits
+    assert packet.uncompressed_size() == 9
+    assert packet.carries_data
+
+
+def test_vnet_mapping():
+    assert PacketType.REQUEST.vnet == VNET_REQUEST
+    assert PacketType.COHERENCE.vnet == VNET_REQUEST
+    assert PacketType.RESPONSE.vnet == VNET_RESPONSE
+
+
+def test_compression_shrinks_and_decompression_restores():
+    algo = get_algorithm("delta")
+    line = b"\x03" * 64
+    packet = Packet(PacketType.RESPONSE, 1, 2, line=line, compressible=True)
+    compressed = algo.compress(line)
+    saved = packet.apply_compression(compressed)
+    assert packet.is_compressed
+    assert saved > 0
+    assert packet.size_flits == 1 + compressed.flit_count(8)
+    added = packet.apply_decompression()
+    assert added == saved
+    assert packet.size_flits == 9
+
+
+def test_double_compression_rejected():
+    algo = get_algorithm("delta")
+    line = b"\x03" * 64
+    packet = Packet(PacketType.RESPONSE, 1, 2, line=line)
+    packet.apply_compression(algo.compress(line))
+    with pytest.raises(ValueError):
+        packet.apply_compression(algo.compress(line))
+
+
+def test_control_packet_cannot_compress():
+    algo = get_algorithm("delta")
+    packet = Packet(PacketType.REQUEST, 1, 2)
+    with pytest.raises(ValueError):
+        packet.apply_compression(algo.compress(b"\x00" * 64))
+
+
+def test_decompress_requires_compressed():
+    packet = Packet(PacketType.RESPONSE, 1, 2, line=b"\x00" * 64)
+    with pytest.raises(ValueError):
+        packet.apply_decompression()
+
+
+def test_compressed_at_creation():
+    algo = get_algorithm("delta")
+    line = b"\x00" * 64
+    compressed = algo.compress(line)
+    packet = Packet(
+        PacketType.RESPONSE, 0, 3, line=line,
+        compressed=compressed, is_compressed=True,
+    )
+    assert packet.size_flits == 1 + compressed.flit_count(8)
+
+
+def test_is_compressed_requires_payload():
+    with pytest.raises(ValueError):
+        Packet(PacketType.RESPONSE, 0, 1, line=b"\x00" * 64, is_compressed=True)

@@ -1,0 +1,110 @@
+"""Network-interface tests: injection queues, eject transforms, priorities."""
+
+import pytest
+
+from repro.compression import get_algorithm
+from repro.noc import Network, NocConfig
+from repro.noc.flit import Packet, PacketType
+
+
+def test_inject_transform_delays_injection():
+    network = Network(NocConfig())
+    calls = []
+
+    def inject(node, packet):
+        calls.append(node)
+        return 7
+
+    network.inject_transform = inject
+    packet = Packet(PacketType.RESPONSE, 0, 3, line=b"\x00" * 64)
+    network.set_delivery_handler(lambda n, p: None)
+    network.send(packet)
+    network.run_until_quiescent()
+    assert calls == [0]
+    baseline = Network(NocConfig())
+    p2 = Packet(PacketType.RESPONSE, 0, 3, line=b"\x00" * 64)
+    baseline.set_delivery_handler(lambda n, p: None)
+    baseline.send(p2)
+    baseline.run_until_quiescent()
+    delay = (packet.ejected_cycle - packet.injected_cycle) - (
+        p2.ejected_cycle - p2.injected_cycle
+    )
+    assert 6 <= delay <= 7  # the charge may overlap the first idle cycle
+
+
+def test_eject_transform_delays_delivery():
+    network = Network(NocConfig())
+    network.eject_transform = lambda node, packet: 5
+    delivered = []
+    network.set_delivery_handler(lambda n, p: delivered.append(network.cycle))
+    packet = Packet(PacketType.REQUEST, 0, 3)
+    network.send(packet)
+    network.run_until_quiescent()
+    assert len(delivered) == 1
+    assert network.stats.eject_decompress_stall_cycles == 5
+
+
+def test_cnc_style_transform_compresses_wire_form():
+    algorithm = get_algorithm("delta")
+    network = Network(NocConfig())
+    wire_sizes = []
+
+    def inject(node, packet):
+        if packet.carries_data and not packet.is_compressed:
+            compressed = algorithm.compress(packet.line)
+            if compressed.compressible:
+                packet.apply_compression(compressed)
+            return 1
+        return 0
+
+    def eject(node, packet):
+        if packet.is_compressed:
+            wire_sizes.append(packet.size_flits)
+            packet.apply_decompression()
+            return 3
+        return 0
+
+    network.inject_transform = inject
+    network.eject_transform = eject
+    received = []
+    network.set_delivery_handler(lambda n, p: received.append(p))
+    line = b"\x00" * 64
+    network.send(Packet(PacketType.RESPONSE, 0, 15, line=line))
+    network.run_until_quiescent()
+    assert wire_sizes and wire_sizes[0] < 9
+    assert received[0].line == line
+    assert not received[0].is_compressed
+
+
+def test_priority_hook_influences_arbitration():
+    """Two packets contending for one port: priority wins the switch."""
+    config = NocConfig()
+    results = {}
+    for policy in ("fifo", "favor_b"):
+        network = Network(config)
+        order = []
+        network.set_delivery_handler(lambda n, p: order.append(p.pid))
+        a = Packet(PacketType.RESPONSE, 0, 3, line=b"\x00" * 64)
+        b = Packet(PacketType.RESPONSE, 4, 3, line=b"\x00" * 64)
+        if policy == "favor_b":
+            network.packet_priority = lambda p: 2 if p is b else 1
+        network.send(a)
+        network.send(b)
+        network.run_until_quiescent()
+        results[policy] = (
+            a.ejected_cycle - a.injected_cycle,
+            b.ejected_cycle - b.injected_cycle,
+        )
+    # Favoring b should not make b slower than in FIFO mode.
+    assert results["favor_b"][1] <= results["fifo"][1]
+
+
+def test_local_traffic_applies_both_transforms():
+    network = Network(NocConfig())
+    network.inject_transform = lambda n, p: 2
+    network.eject_transform = lambda n, p: 3
+    got = []
+    network.set_delivery_handler(lambda n, p: got.append(network.cycle))
+    network.send(Packet(PacketType.REQUEST, 5, 5))
+    network.run_until_quiescent()
+    assert got and got[0] >= 6  # 1 base + 2 + 3

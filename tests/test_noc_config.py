@@ -1,0 +1,48 @@
+"""NocConfig validation and derived-quantity tests."""
+
+import pytest
+
+from repro.noc.config import FlowControl, NocConfig
+
+
+def test_defaults_match_table2():
+    config = NocConfig()
+    assert (config.width, config.height) == (4, 4)
+    assert config.vcs_per_port == 2
+    assert config.vc_depth == 8
+    assert config.flit_bytes == 8
+    assert config.flow_control is FlowControl.WORMHOLE
+
+
+def test_vnet_vc_partitioning():
+    config = NocConfig(vnets=2, vcs_per_vnet=2)
+    assert list(config.vnet_vcs(0)) == [0, 1]
+    assert list(config.vnet_vcs(1)) == [2, 3]
+    assert config.vcs_per_port == 4
+
+
+def test_n_nodes():
+    assert NocConfig(width=8, height=8).n_nodes == 64
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"width": 0},
+        {"vnets": 0},
+        {"vcs_per_vnet": 0},
+        {"vc_depth": 0},
+        {"flit_bytes": 0},
+        {"link_latency": 0},
+        {"ejection_bandwidth": 0},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        NocConfig(**kwargs)
+
+
+def test_flow_control_values():
+    assert FlowControl("wormhole") is FlowControl.WORMHOLE
+    assert FlowControl("vct") is FlowControl.VIRTUAL_CUT_THROUGH
+    assert FlowControl("saf") is FlowControl.STORE_AND_FORWARD

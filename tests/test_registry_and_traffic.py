@@ -1,0 +1,96 @@
+"""Registry and synthetic-traffic unit tests."""
+
+import pytest
+
+from repro.compression import (
+    CachedCompressor,
+    available_algorithms,
+    get_algorithm,
+    get_timing,
+)
+from repro.noc import Network, NocConfig
+from repro.noc.traffic import (
+    SyntheticTraffic,
+    TrafficConfig,
+    hotspot,
+    transpose,
+    uniform_random,
+)
+
+import random
+
+
+class TestRegistry:
+    def test_all_algorithms_available(self):
+        names = available_algorithms()
+        assert set(names) >= {
+            "delta", "bdi", "fpc", "sfpc", "cpack", "sc2", "fvc", "zero",
+        }
+
+    def test_every_algorithm_has_timing(self):
+        for name in available_algorithms():
+            timing = get_timing(name)
+            assert timing.compression_cycles >= 0
+            assert timing.decompression_cycles >= 0
+
+    def test_table1_timings(self):
+        assert get_timing("delta").compression_cycles == 1
+        assert get_timing("delta").decompression_cycles == 3
+        assert get_timing("fpc").decompression_cycles == 5
+        assert get_timing("sfpc").decompression_cycles == 4
+        assert get_timing("sc2").compression_cycles == 6
+        assert get_timing("sc2").decompression_cycles == 8
+
+    def test_cached_wrapper_default(self):
+        algo = get_algorithm("fpc")
+        assert isinstance(algo, CachedCompressor)
+        raw = get_algorithm("fpc", cached=False)
+        assert not isinstance(raw, CachedCompressor)
+
+    def test_unknown_names(self):
+        with pytest.raises(KeyError):
+            get_algorithm("zip")
+        with pytest.raises(KeyError):
+            get_timing("zip")
+
+
+class TestTrafficPatterns:
+    def test_uniform_never_self(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            src = rng.randrange(16)
+            assert uniform_random(rng, src, 16) != src
+
+    def test_transpose_mapping(self):
+        rng = random.Random(1)
+        # node 1 = (1,0) -> (0,1) = node 4 on a 4x4
+        assert transpose(rng, 1, 16) == 4
+        assert transpose(rng, 7, 16) == 13
+
+    def test_hotspot_bias(self):
+        rng = random.Random(1)
+        hits = sum(
+            hotspot(rng, 5, 16, hotspots=(0,), weight=0.5) == 0
+            for _ in range(1000)
+        )
+        assert hits > 300
+
+    def test_config_validation(self):
+        network = Network(NocConfig())
+        with pytest.raises(ValueError):
+            SyntheticTraffic(network, TrafficConfig(injection_rate=0.0))
+        with pytest.raises(KeyError):
+            SyntheticTraffic(network, TrafficConfig(pattern="spiral"))
+
+    def test_deterministic_generation(self):
+        results = []
+        for _ in range(2):
+            network = Network(NocConfig())
+            traffic = SyntheticTraffic(
+                network, TrafficConfig(injection_rate=0.05, seed=12)
+            )
+            traffic.run(300)
+            results.append(
+                (traffic.generated, network.stats.total_packet_latency)
+            )
+        assert results[0] == results[1]

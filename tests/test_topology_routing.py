@@ -1,0 +1,91 @@
+"""Mesh topology and XY routing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.routing import xy_hops, xy_route
+from repro.noc.topology import (
+    Mesh,
+    OPPOSITE,
+    PORT_EAST,
+    PORT_LOCAL,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+)
+
+
+class TestMesh:
+    def test_coords_roundtrip(self):
+        mesh = Mesh(4, 4)
+        for node in range(16):
+            x, y = mesh.coords(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_neighbors_4x4(self):
+        mesh = Mesh(4, 4)
+        assert mesh.neighbor[0][PORT_EAST] == 1
+        assert mesh.neighbor[0][PORT_WEST] is None
+        assert mesh.neighbor[0][PORT_SOUTH] == 4
+        assert mesh.neighbor[0][PORT_NORTH] is None
+        assert mesh.neighbor[5][PORT_EAST] == 6
+        assert mesh.neighbor[5][PORT_NORTH] == 1
+
+    def test_neighbor_symmetry(self):
+        mesh = Mesh(3, 5)
+        for node in range(mesh.n_nodes):
+            for port, nbr in mesh.neighbor[node].items():
+                if nbr is not None:
+                    assert mesh.neighbor[nbr][OPPOSITE[port]] == node
+
+    def test_links_count(self):
+        mesh = Mesh(4, 4)
+        # 2 directed links per internal edge: 2*(3*4)*2 meshes of edges
+        assert len(mesh.links()) == 2 * (3 * 4 + 4 * 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+        with pytest.raises(ValueError):
+            Mesh(4, 4).coords(16)
+
+
+class TestXYRouting:
+    def test_local_at_destination(self):
+        mesh = Mesh(4, 4)
+        for node in range(16):
+            assert xy_route(mesh, node, node) == PORT_LOCAL
+
+    def test_x_first(self):
+        mesh = Mesh(4, 4)
+        # node 0 (0,0) -> node 15 (3,3): go east first
+        assert xy_route(mesh, 0, 15) == PORT_EAST
+        # same column: go south
+        assert xy_route(mesh, 0, 12) == PORT_SOUTH
+        assert xy_route(mesh, 12, 0) == PORT_NORTH
+        assert xy_route(mesh, 3, 0) == PORT_WEST
+
+    @given(
+        src=st.integers(0, 63),
+        dst=st.integers(0, 63),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_route_always_converges(self, src, dst):
+        mesh = Mesh(8, 8)
+        current = src
+        steps = 0
+        while current != dst:
+            port = xy_route(mesh, current, dst)
+            assert port != PORT_LOCAL
+            current = mesh.neighbor[current][port]
+            assert current is not None
+            steps += 1
+            assert steps <= 14
+        assert steps == xy_hops(mesh, src, dst)
+
+    def test_hops(self):
+        mesh = Mesh(4, 4)
+        assert xy_hops(mesh, 0, 15) == 6
+        assert xy_hops(mesh, 5, 5) == 0
+        assert xy_hops(mesh, 0, 3) == 3

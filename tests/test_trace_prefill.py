@@ -1,0 +1,76 @@
+"""Tests for trace tiering and the LLC prefill order."""
+
+import pytest
+
+from repro.workloads import generate_traces, get_profile
+from repro.workloads.trace import PRIVATE_BASE
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_traces(get_profile("canneal"), 4, 400, seed=3)
+
+
+class TestTiering:
+    def test_tiers_partition_regions(self, traces):
+        tiers = {0: 0, 1: 0, 2: 0}
+        for addr in traces.touched_addresses():
+            tiers[traces._tier_of(addr)] += 1
+        assert all(count > 0 for count in tiers.values())
+
+    def test_hot_offsets_are_small(self, traces):
+        for addr in traces.touched_addresses():
+            if traces._tier_of(addr) == 2:
+                offset = traces._region_offset(addr)
+                n = (
+                    traces.shared_lines
+                    if addr < PRIVATE_BASE
+                    else traces.private_lines
+                )
+                assert offset < max(1, int(n * 0.04)) + 1
+
+    def test_region_offset(self, traces):
+        assert traces._region_offset(5) == 5
+        base = PRIVATE_BASE * 2
+        assert traces._region_offset(base + 17) == 17
+
+
+class TestPrefillOrder:
+    def test_order_is_cold_to_hot(self, traces):
+        order = traces.prefill_order()
+        tiers = [traces._tier_of(addr) for addr in order]
+        assert tiers == sorted(tiers)
+
+    def test_order_covers_footprint_exactly(self, traces):
+        order = traces.prefill_order()
+        assert set(order) == traces.touched_addresses()
+        assert len(order) == len(set(order))
+
+    def test_same_tier_interleaves_regions(self, traces):
+        """Warm lines of different regions alternate rather than block."""
+        order = traces.prefill_order()
+        warm = [a for a in order if traces._tier_of(a) == 1]
+        # consecutive warm entries should frequently switch regions
+        def region(addr):
+            return addr // PRIVATE_BASE
+
+        switches = sum(
+            1
+            for a, b in zip(warm, warm[1:])
+            if region(a) != region(b)
+        )
+        assert switches > len(warm) // 4
+
+    def test_deterministic(self, traces):
+        again = generate_traces(get_profile("canneal"), 4, 400, seed=3)
+        assert traces.prefill_order() == again.prefill_order()
+
+
+@pytest.mark.parametrize("name", sorted(
+    __import__("repro.workloads", fromlist=["PARSEC_BENCHMARKS"])
+    .PARSEC_BENCHMARKS
+))
+def test_every_benchmark_generates(name):
+    ts = generate_traces(get_profile(name), 2, 60, seed=1)
+    assert ts.total_accesses == 120
+    assert ts.prefill_order()
