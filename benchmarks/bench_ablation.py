@@ -7,9 +7,6 @@ Not a paper figure — this quantifies the individual DISCO mechanisms:
 - non-blocking shadow packets (§3.2 step-3).
 """
 
-from dataclasses import replace
-
-import pytest
 from common import save_and_print, BENCH_ACCESSES, once
 
 from repro.cmp import CmpSystem, SystemConfig, make_scheme

@@ -10,7 +10,9 @@ Fig. 5 and Fig. 7 intentionally share simulation specs: the runner memoizes
 view prices the very runs the latency view measured, as in the paper.
 """
 
+import json
 import os
+import time
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
@@ -34,9 +36,46 @@ BENCH_FIG8_WORKLOADS = (
 BENCH_FIG8_MESHES = ((2, 2), (4, 4), (8, 8))
 
 
+def _results_dir() -> str:
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    os.makedirs(out_dir, exist_ok=True)
+    return out_dir
+
+
+def _record_timing(name: str, seconds: float) -> None:
+    """Append this run's wall-clock to ``bench_results/timing.json``.
+
+    The file maps benchmark name -> list of ``{when, seconds, full}``
+    entries, newest last, so successive runs can be compared (e.g. to see
+    the parallel runner's effect without digging through pytest-benchmark
+    output).
+    """
+    path = os.path.join(_results_dir(), "timing.json")
+    try:
+        with open(path) as handle:
+            timings = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        timings = {}
+    timings.setdefault(name, []).append(
+        {
+            "when": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "seconds": round(seconds, 3),
+            "full": FULL,
+        }
+    )
+    with open(path, "w") as handle:
+        json.dump(timings, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def once(benchmark, fn):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run an experiment exactly once under pytest-benchmark timing,
+    recording its wall-clock into ``bench_results/timing.json``."""
+    name = getattr(benchmark, "name", None) or getattr(fn, "__name__", "bench")
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    _record_timing(name, time.perf_counter() - start)
+    return result
 
 
 def save_and_print(name: str, text: str) -> None:
@@ -47,8 +86,7 @@ def save_and_print(name: str, text: str) -> None:
     """
     print()
     print(text)
-    out_dir = os.path.join(os.path.dirname(__file__), "..", "bench_results")
-    os.makedirs(out_dir, exist_ok=True)
+    out_dir = _results_dir()
     suffix = "_full" if FULL else ""
     path = os.path.join(out_dir, f"{name}{suffix}.txt")
     with open(path, "w") as handle:

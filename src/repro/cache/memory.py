@@ -49,6 +49,11 @@ class MemoryController:
     def _bank_of(self, addr: int) -> int:
         return addr % self.n_banks
 
+    def busy_banks(self, cycle: int) -> int:
+        """DRAM banks still serving a request at ``cycle`` (idle/wedge
+        diagnostics for the simulation kernel)."""
+        return sum(1 for free in self._bank_free if free > cycle)
+
     def _schedule(self, addr: int, cycle: int) -> int:
         bank = self._bank_of(addr)
         start = max(cycle, self._bank_free[bank])

@@ -13,7 +13,7 @@ the scaling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Tuple
 
 from repro.noc.config import NocConfig

@@ -1,11 +1,16 @@
 """The full CMP system: wiring, the simulation loop, and results.
 
 ``CmpSystem`` builds the NoC (with DISCO routers when the scheme asks for
-them), one tile + home bank per node, and the memory controller; registers
-the scheme's NI transforms and scheduling policy; and runs the cycle loop
-until every core has drained its trace.  The output is a
-:class:`SimulationResult` holding the Fig. 5/6/8 latency metric, the raw
-event counts the energy model consumes (Fig. 7), and all substrate stats.
+them), one tile + home bank per node, and the memory controller — all on
+one shared :class:`repro.sim.SimKernel`: the network contributes its five
+phases, then the CMP layer appends ``cmp.events`` (scheduled bank/DRAM
+callbacks) and ``cmp.tiles`` (core issue), with banks and the memory
+controller registered passively (reactive state-holders, tracked for
+wedge diagnostics).  Substrate counters are published as named groups on
+the kernel's :class:`~repro.sim.stats.StatsRegistry`; the output is a
+:class:`SimulationResult` holding the Fig. 5/6/8 latency metric plus two
+registry snapshots — full-run and post-warmup — that the energy model
+(Fig. 7) consumes.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.core.scheduling import baseline_priority, disco_priority
 from repro.noc.flit import Packet
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
+from repro.sim import CounterSnapshot, SimKernel
 from repro.workloads.trace import TraceSet
 
 #: Abort threshold: cycles without any core finishing progress.
@@ -35,7 +41,15 @@ _WATCHDOG_LIMIT = 4_000_000
 
 @dataclass
 class SimulationResult:
-    """Everything one (scheme, workload) run produced."""
+    """Everything one (scheme, workload) run produced.
+
+    The substrate event counts live in two
+    :class:`~repro.sim.stats.CounterSnapshot` registry snapshots — the
+    full run and the post-warmup (steady-state) window — instead of loose
+    fields; the historical scalar accessors (``bank_reads``,
+    ``memory_writes``, ``llc_segment_occupancy``...) remain available as
+    properties over ``snapshot_full``.
+    """
 
     scheme: str
     algorithm: str
@@ -45,28 +59,29 @@ class SimulationResult:
     total_miss_latency: int
     l1_hits: int
     l1_accesses: int
-    network: NetworkStats = None  # type: ignore[assignment]
-    bank_reads: int = 0
-    bank_writes: int = 0
-    bank_tag_lookups: int = 0
-    bank_segments_read: int = 0
-    bank_segments_written: int = 0
-    bank_hits: int = 0
-    bank_misses: int = 0
-    bank_compressions: int = 0
-    bank_decompressions: int = 0
-    memory_reads: int = 0
-    memory_writes: int = 0
-    llc_resident_lines: int = 0
-    llc_segment_occupancy: float = 0.0
-
+    network: Optional[NetworkStats] = None
+    n_routers: int = 0
     measured_primary_misses: int = 0
     measured_miss_latency: int = 0
     measure_start_cycle: int = 0
-    n_routers: int = 0
-    counters_full: Dict[str, int] = field(default_factory=dict)
-    counters_measured: Dict[str, int] = field(default_factory=dict)
+    snapshot_full: CounterSnapshot = field(default_factory=CounterSnapshot)
+    snapshot_measured: CounterSnapshot = field(default_factory=CounterSnapshot)
 
+    # -- registry views ------------------------------------------------------
+    @property
+    def counters_full(self) -> Dict[str, int]:
+        """Flat view of the full-run registry snapshot."""
+        return self.snapshot_full.flat()
+
+    @property
+    def counters_measured(self) -> Dict[str, int]:
+        """Flat view of the steady-state (post-warmup) snapshot."""
+        return self.snapshot_measured.flat()
+
+    def _full(self, key: str) -> int:
+        return int(self.snapshot_full.get_counter(key, 0))
+
+    # -- metrics -------------------------------------------------------------
     @property
     def avg_miss_latency(self) -> float:
         """The paper's metric: average on-chip data access latency.
@@ -97,6 +112,113 @@ class SimulationResult:
             return 0.0
         return self.bank_misses / lookups
 
+    # -- backward-compatible counter accessors -------------------------------
+    @property
+    def bank_reads(self) -> int:
+        return self._full("bank_reads")
+
+    @property
+    def bank_writes(self) -> int:
+        return self._full("bank_writes")
+
+    @property
+    def bank_tag_lookups(self) -> int:
+        return self._full("bank_tag_lookups")
+
+    @property
+    def bank_segments_read(self) -> int:
+        return self._full("bank_segments_read")
+
+    @property
+    def bank_segments_written(self) -> int:
+        return self._full("bank_segments_written")
+
+    @property
+    def bank_hits(self) -> int:
+        return self._full("bank_hits")
+
+    @property
+    def bank_misses(self) -> int:
+        return self._full("bank_misses")
+
+    @property
+    def bank_compressions(self) -> int:
+        return self._full("bank_compressions")
+
+    @property
+    def bank_decompressions(self) -> int:
+        return self._full("bank_decompressions")
+
+    @property
+    def memory_reads(self) -> int:
+        return self._full("memory_reads")
+
+    @property
+    def memory_writes(self) -> int:
+        return self._full("memory_writes")
+
+    @property
+    def llc_resident_lines(self) -> int:
+        return self._full("llc_resident_lines")
+
+    @property
+    def llc_segment_occupancy(self) -> float:
+        total = self._full("llc_segments_total")
+        if total == 0:
+            return 0.0
+        return self._full("llc_segments_used") / total
+
+
+class EventQueue:
+    """Scheduled callbacks (bank latencies, DRAM completions) — a kernel
+    component ticked right after the network phases."""
+
+    __slots__ = ("_events", "_seq")
+
+    def __init__(self) -> None:
+        self._events: List = []
+        self._seq = itertools.count()
+
+    def schedule(self, due: int, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (due, next(self._seq), fn))
+
+    def next_due(self) -> Optional[int]:
+        return self._events[0][0] if self._events else None
+
+    def has_work(self) -> bool:
+        return bool(self._events)
+
+    def tick(self, cycle: int) -> None:
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, fn = heapq.heappop(events)
+            fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventQueue({len(self._events)} scheduled)"
+
+
+class _MemoryComponent:
+    """Passive kernel registration for the DRAM controller: never ticked
+    (completions ride the event queue), but its busy state shows up in
+    idle checks and wedge snapshots."""
+
+    __slots__ = ("memory", "kernel")
+
+    def __init__(self, memory: MemoryController, kernel: SimKernel):
+        self.memory = memory
+        self.kernel = kernel
+
+    def has_work(self) -> bool:
+        return self.memory.busy_banks(self.kernel.cycle) > 0
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - passive
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        busy = self.memory.busy_banks(self.kernel.cycle)
+        return f"MemoryController({busy} banks busy)"
+
 
 class CmpSystem:
     """One simulatable CMP instance (config x scheme x workload)."""
@@ -123,6 +245,11 @@ class CmpSystem:
         self.prefill = prefill
         self.pool = traces.pool
         self.algorithm = scheme.make_algorithm(config.line_size)
+        # -- the shared kernel ------------------------------------------------
+        #: One clock for everything: the network registers its phases first
+        #: (frame/arrivals/routers/NIs/delivery), the CMP layer appends
+        #: ``cmp.events`` and ``cmp.tiles`` below.
+        self.kernel = SimKernel()
         # -- network --------------------------------------------------------
         router_factory = None
         if scheme.use_disco_routers:
@@ -130,7 +257,9 @@ class CmpSystem:
             router_factory = make_disco_router_factory(
                 scheme.disco, self.algorithm
             )
-        self.network = Network(config.noc, router_factory=router_factory)
+        self.network = Network(
+            config.noc, router_factory=router_factory, kernel=self.kernel
+        )
         self.network.set_delivery_handler(self._on_packet)
         self.network.packet_priority = (
             disco_priority if scheme.use_disco_routers else baseline_priority
@@ -163,14 +292,24 @@ class CmpSystem:
             line_source=self.pool.line,
             line_size=config.line_size,
         )
-        # -- event queue -------------------------------------------------------
-        self._events: List = []
-        self._event_seq = itertools.count()
+        # -- kernel registration ----------------------------------------------
+        self.events = EventQueue()
+        self.kernel.register(self.events, phase="cmp.events")
+        for tile in self.tiles:
+            self.kernel.register(tile, phase="cmp.tiles")
+        for bank in self.banks:
+            self.kernel.register(bank, phase="cmp.banks", tick=False)
+        self.kernel.register(
+            _MemoryComponent(self.memory, self.kernel),
+            phase="cmp.memory",
+            tick=False,
+        )
+        self._register_stats_groups()
         if prefill:
             self._prefill_llc()
-        # -- steady-state counter snapshot (taken when every core crossed
+        # -- steady-state registry snapshot (taken when every core crossed
         #    its warmup boundary; energy uses the post-snapshot deltas) -----
-        self._snapshot: Optional[Dict[str, int]] = None
+        self._snapshot: Optional[CounterSnapshot] = None
         self._measure_start_cycle = 0
 
     def _prefill_llc(self) -> None:
@@ -189,70 +328,93 @@ class CmpSystem:
             bank._insert(addr, self.pool.line(addr), dirty=False, packet=None)
 
     # -- counters -----------------------------------------------------------
-    def collect_counters(self) -> Dict[str, int]:
-        """Scalar event counters consumed by the energy model."""
-        net = self.network.stats
-        counters = {
-            "cycles": self.cycle,
-            "link_flits": net.link_flits,
-            "buffer_writes": net.buffer_writes,
-            "buffer_reads": net.buffer_reads,
-            "crossbar_flits": net.crossbar_flits,
-            "sa_grants": net.sa_grants,
-            "va_grants": net.va_grants,
-            "router_compressions": net.compressions,
-            "router_decompressions": net.decompressions,
-            "ni_compressions": net.ni_compressions,
-            "ni_decompressions": net.ni_decompressions,
-            "flits_injected": net.flits_injected,
-            "flits_ejected": net.flits_ejected,
-            "packets_injected": net.packets_injected,
+    def _register_stats_groups(self) -> None:
+        """Publish every substrate's counters as named registry groups.
+
+        The network registered its own ``network`` group when it attached
+        to the kernel; the CMP layer adds banks, LLC occupancy gauges,
+        DRAM, and the L1s.  Counter names keep their historical flat
+        spellings — the energy model reads the flattened snapshot.
+        """
+        registry = self.kernel.stats
+        registry.register("banks", self._bank_counters)
+        registry.register("llc", self._llc_counters)
+        registry.register("memory", self._memory_counters)
+        registry.register("l1", self._l1_counters)
+
+    def _bank_counters(self) -> Dict[str, int]:
+        reads = writes = tag_lookups = hits = misses = 0
+        seg_read = seg_written = comp = decomp = 0
+        for bank in self.banks:
+            stats = bank.array.stats
+            reads += stats.reads
+            writes += stats.writes
+            tag_lookups += stats.tag_lookups
+            hits += stats.hits
+            misses += stats.misses
+            seg_read += stats.segments_read
+            seg_written += stats.segments_written
+            comp += bank.side_stats.compressions
+            decomp += bank.side_stats.decompressions
+        return {
+            "bank_reads": reads,
+            "bank_writes": writes,
+            "bank_tag_lookups": tag_lookups,
+            "bank_hits": hits,
+            "bank_misses": misses,
+            "bank_segments_read": seg_read,
+            "bank_segments_written": seg_written,
+            "bank_compressions": comp,
+            "bank_decompressions": decomp,
+        }
+
+    def _llc_counters(self) -> Dict[str, int]:
+        resident = used = total = 0
+        for bank in self.banks:
+            resident += bank.array.resident_lines()
+            u, t = bank.array.occupancy()
+            used += u
+            total += t
+        return {
+            "llc_resident_lines": resident,
+            "llc_segments_used": used,
+            "llc_segments_total": total,
+        }
+
+    def _memory_counters(self) -> Dict[str, int]:
+        return {
             "memory_reads": self.memory.stats.reads,
             "memory_writes": self.memory.stats.writes,
         }
-        bank_reads = bank_writes = tag_lookups = 0
-        seg_read = seg_written = bank_comp = bank_decomp = 0
-        for bank in self.banks:
-            stats = bank.array.stats
-            bank_reads += stats.reads
-            bank_writes += stats.writes
-            tag_lookups += stats.tag_lookups
-            seg_read += stats.segments_read
-            seg_written += stats.segments_written
-            bank_comp += bank.side_stats.compressions
-            bank_decomp += bank.side_stats.decompressions
-        counters.update(
-            bank_reads=bank_reads,
-            bank_writes=bank_writes,
-            bank_tag_lookups=tag_lookups,
-            bank_segments_read=seg_read,
-            bank_segments_written=seg_written,
-            bank_compressions=bank_comp,
-            bank_decompressions=bank_decomp,
-        )
-        l1_accesses = sum(
-            t.l1.stats.reads + t.l1.stats.writes for t in self.tiles
-        )
-        counters["l1_accesses"] = l1_accesses
-        return counters
+
+    def _l1_counters(self) -> Dict[str, int]:
+        accesses = hits = 0
+        for tile in self.tiles:
+            stats = tile.l1.stats
+            accesses += stats.reads + stats.writes
+            hits += stats.hits
+        return {"l1_accesses": accesses, "l1_hits": hits}
+
+    def collect_counters(self) -> Dict[str, int]:
+        """Scalar event counters consumed by the energy model (the flat
+        view of the kernel's stats registry)."""
+        return self.kernel.stats.snapshot().flat()
 
     def _maybe_snapshot(self) -> None:
         if self._snapshot is not None:
             return
         if all(not t.core.in_warmup() for t in self.tiles):
-            self._snapshot = self.collect_counters()
+            self._snapshot = self.kernel.stats.snapshot()
             self._measure_start_cycle = self.cycle
 
     # -- clock ---------------------------------------------------------------
     @property
     def cycle(self) -> int:
-        return self.network.cycle
+        return self.kernel.cycle
 
     def schedule(self, delay: int, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` cycles (bank latencies, DRAM)."""
-        heapq.heappush(
-            self._events, (self.cycle + max(0, delay), next(self._event_seq), fn)
-        )
+        self.events.schedule(self.cycle + max(0, delay), fn)
 
     # -- messaging --------------------------------------------------------------
     def send_message(self, msg: Message, compressed_payload=None) -> None:
@@ -350,18 +512,17 @@ class CmpSystem:
 
     # -- the simulation loop ---------------------------------------------------------
     def run(self, max_cycles: int = _WATCHDOG_LIMIT) -> SimulationResult:
+        """Step the shared kernel until every core drained its trace."""
         tiles = self.tiles
+        kernel = self.kernel
         last_progress_cycle = 0
         last_outstanding = -1
         while True:
             if all(tile.core.done() for tile in tiles):
                 break
             self._maybe_fast_forward()
-            self.network.tick()
-            self._run_events()
-            cycle = self.cycle
-            for tile in tiles:
-                tile.tick(cycle)
+            kernel.step()
+            cycle = kernel.cycle
             self._maybe_snapshot()
             # Watchdog: abort if globally stuck.
             signature = sum(t.core.position for t in tiles) + sum(
@@ -373,11 +534,33 @@ class CmpSystem:
             elif cycle - last_progress_cycle > 200_000:
                 raise RuntimeError(
                     f"simulation wedged at cycle {cycle} "
-                    f"(scheme={self.scheme.name})"
+                    f"(scheme={self.scheme.name})\n"
+                    + self.network.wedge_snapshot()
+                    + "\n"
+                    + self._wedge_report()
                 )
             if cycle > max_cycles:
                 raise RuntimeError("simulation exceeded max_cycles")
         return self._collect()
+
+    def _wedge_report(self) -> str:
+        """CMP-side companion to the network wedge snapshot."""
+        outstanding = sum(t.core.outstanding for t in self.tiles)
+        stalled = [
+            t.node for t in self.tiles if not t.core.done()
+        ]
+        pending_trans = sum(len(bank.pending) for bank in self.banks)
+        busy = ", ".join(
+            f"{phase}:{component!r}"
+            for phase, component in self.kernel.busy_components()
+            if phase.startswith("cmp.")
+        )
+        return (
+            f"cores unfinished: {stalled} ({outstanding} misses in flight); "
+            f"bank transactions pending: {pending_trans}; "
+            f"events scheduled: {self.events.has_work()}\n"
+            f"busy cmp components: {busy or 'none'}"
+        )
 
     def _maybe_fast_forward(self) -> None:
         """Skip idle cycles: when nothing is in flight anywhere, jump the
@@ -397,22 +580,15 @@ class CmpSystem:
                     return
                 if next_interesting is None or when < next_interesting:
                     next_interesting = when
-        if self._events:
-            when = self._events[0][0]
-            if when <= horizon:
+        next_event = self.events.next_due()
+        if next_event is not None:
+            if next_event <= horizon:
                 return
-            if next_interesting is None or when < next_interesting:
-                next_interesting = when
+            if next_interesting is None or next_event < next_interesting:
+                next_interesting = next_event
         if next_interesting is None or not self.network.quiescent():
             return
         self.network.cycle = next_interesting - 1
-
-    def _run_events(self) -> None:
-        events = self._events
-        cycle = self.cycle
-        while events and events[0][0] <= cycle:
-            _, _, fn = heapq.heappop(events)
-            fn()
 
     # -- results ---------------------------------------------------------------------
     def _collect(self) -> SimulationResult:
@@ -426,7 +602,12 @@ class CmpSystem:
         l1_accesses = sum(
             t.l1.stats.reads + t.l1.stats.writes for t in self.tiles
         )
-        result = SimulationResult(
+        full = self.kernel.stats.snapshot()
+        if self._snapshot is not None:
+            measured = full.delta(self._snapshot)
+        else:
+            measured = full
+        return SimulationResult(
             scheme=self.scheme.name,
             algorithm=self.scheme.algorithm_name,
             workload=self.traces.profile.name,
@@ -437,37 +618,13 @@ class CmpSystem:
             l1_accesses=l1_accesses,
             network=self.network.stats,
             n_routers=self.config.noc.n_nodes,
+            measured_primary_misses=sum(
+                t.core.stats.measured_primary_misses for t in self.tiles
+            ),
+            measured_miss_latency=sum(
+                t.core.stats.measured_miss_latency for t in self.tiles
+            ),
+            measure_start_cycle=self._measure_start_cycle,
+            snapshot_full=full,
+            snapshot_measured=measured,
         )
-        used = total = 0
-        for bank in self.banks:
-            stats = bank.array.stats
-            result.bank_reads += stats.reads
-            result.bank_writes += stats.writes
-            result.bank_tag_lookups += stats.tag_lookups
-            result.bank_segments_read += stats.segments_read
-            result.bank_segments_written += stats.segments_written
-            result.bank_hits += stats.hits
-            result.bank_misses += stats.misses
-            result.bank_compressions += bank.side_stats.compressions
-            result.bank_decompressions += bank.side_stats.decompressions
-            result.llc_resident_lines += bank.array.resident_lines()
-            u, t = bank.array.occupancy()
-            used += u
-            total += t
-        result.llc_segment_occupancy = used / total if total else 0.0
-        result.memory_reads = self.memory.stats.reads
-        result.memory_writes = self.memory.stats.writes
-        result.measured_primary_misses = sum(
-            t.core.stats.measured_primary_misses for t in self.tiles
-        )
-        result.measured_miss_latency = sum(
-            t.core.stats.measured_miss_latency for t in self.tiles
-        )
-        final = self.collect_counters()
-        result.counters_full = final
-        base = self._snapshot or {key: 0 for key in final}
-        result.counters_measured = {
-            key: final[key] - base.get(key, 0) for key in final
-        }
-        result.measure_start_cycle = self._measure_start_cycle
-        return result

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.cache.l1 import HIT, MISS, STATE_M, L1Cache
+from repro.cache.l1 import HIT, STATE_M, L1Cache
 from repro.cmp.core_model import CoreModel
 from repro.cmp.messages import Message, MessageKind
 
@@ -41,6 +41,12 @@ class Tile:
         self._wb_in_flight: set = set()
 
     # -- per-cycle issue ---------------------------------------------------------
+    def has_work(self) -> bool:
+        """Kernel idle test: tick until the core has recorded its finish
+        (the finish marker is set inside ``tick``, so the tile stays
+        schedulable for the cycle that records it)."""
+        return self.core.stats.finished_cycle < 0
+
     def tick(self, cycle: int) -> None:
         while self.core.can_issue(cycle):
             if not self._issue_one(cycle):

@@ -41,8 +41,8 @@ class DiscoRouter(Router):
         self.engine = DiscoCompressorEngine(self, disco, algorithm)
         self.arbitrator = DiscoArbitrator(self, disco, self.engine)
 
-    def tick(self) -> None:
-        super().tick()
+    def tick(self, cycle: Optional[int] = None) -> None:
+        super().tick(cycle)
         # Packets stuck in VC allocation are idle candidates too: they have
         # a routed direction but no downstream VC (step-1 counts both VA
         # and SA losers).

@@ -10,18 +10,30 @@ Each module reproduces one artifact of the evaluation section:
 - :mod:`repro.experiments.fig8` — scalability (2x2 / 4x4 / 8x8 meshes);
 - :mod:`repro.experiments.overhead` — the §4.3 area overhead analysis.
 
-All runners share :func:`repro.experiments.runner.run_spec`, which memoizes
-(config, scheme, workload) simulations so Fig. 5 and Fig. 7 price the same
-runs, exactly as the paper derives both from one set of simulations.
+All runners share :mod:`repro.experiments.runner`: simulations fan out over
+a process pool (``REPRO_JOBS``), and results are memoized in-process plus
+content-addressed on disk (``~/.cache/repro-disco``), so Fig. 5 and Fig. 7
+price the same runs — exactly as the paper derives both from one set of
+simulations — and re-rendering a figure is free.
 """
 
-from repro.experiments.runner import RunSpec, run_spec, clear_cache
+from repro.experiments.runner import (
+    RunSpec,
+    clear_cache,
+    clear_disk_cache,
+    run_matrix,
+    run_spec,
+    run_specs,
+)
 from repro.experiments.report import format_table, normalize
 
 __all__ = [
     "RunSpec",
     "run_spec",
+    "run_specs",
+    "run_matrix",
     "clear_cache",
+    "clear_disk_cache",
     "format_table",
     "normalize",
 ]

@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     FIGURE_ACCESSES,
     RunSpec,
     run_spec,
+    run_specs,
 )
 
 SCHEMES = ("baseline", "cc", "cnc", "disco")
@@ -45,6 +46,17 @@ def fig5(
     schemes: Sequence[str] = SCHEMES,
     verbose: bool = False,
 ) -> Fig5Result:
+    grid = [
+        RunSpec(
+            scheme=scheme,
+            workload=workload,
+            algorithm=algorithm,
+            accesses_per_core=accesses_per_core,
+        )
+        for workload in workloads
+        for scheme in (REFERENCE, *schemes)
+    ]
+    run_specs(grid, verbose=verbose)  # parallel fan-out; lookups below hit memo
     normalized: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
         raw: Dict[str, float] = {}

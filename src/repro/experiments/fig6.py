@@ -15,7 +15,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.fig5 import Fig5Result, fig5
 from repro.experiments.report import format_table
-from repro.experiments.runner import DEFAULT_WORKLOADS, FIGURE_ACCESSES
+from repro.experiments.runner import (
+    DEFAULT_WORKLOADS,
+    FIGURE_ACCESSES,
+    RunSpec,
+    run_specs,
+)
 
 ALGORITHMS = ("fpc", "sc2")
 
@@ -34,6 +39,22 @@ def fig6(
     accesses_per_core: int = FIGURE_ACCESSES,
     verbose: bool = False,
 ) -> Fig6Result:
+    # One batch across every algorithm so the pool sees the whole figure's
+    # worth of independent simulations at once.
+    run_specs(
+        [
+            RunSpec(
+                scheme=scheme,
+                workload=workload,
+                algorithm=algorithm,
+                accesses_per_core=accesses_per_core,
+            )
+            for algorithm in algorithms
+            for workload in workloads
+            for scheme in ("ideal", "cc", "cnc", "disco")
+        ],
+        verbose=verbose,
+    )
     per_algorithm = {
         algorithm: fig5(
             workloads=workloads,

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     FIGURE_ACCESSES,
     RunSpec,
     run_spec,
+    run_specs,
 )
 
 SCHEMES = ("baseline", "cc", "cnc", "disco")
@@ -47,6 +48,19 @@ def fig7(
     verbose: bool = False,
 ) -> Fig7Result:
     params = params or EnergyParams()
+    run_specs(
+        [
+            RunSpec(
+                scheme=scheme,
+                workload=workload,
+                algorithm=algorithm,
+                accesses_per_core=accesses_per_core,
+            )
+            for workload in workloads
+            for scheme in SCHEMES
+        ],
+        verbose=verbose,
+    )  # parallel fan-out; the loops below hit the memo cache
     normalized: Dict[str, Dict[str, float]] = {}
     breakdowns: Dict[str, Dict[str, EnergyBreakdown]] = {}
     for workload in workloads:

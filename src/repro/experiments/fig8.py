@@ -18,7 +18,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.report import format_table, geomean, normalize
-from repro.experiments.runner import FIGURE_ACCESSES, RunSpec, run_spec
+from repro.experiments.runner import (
+    FIGURE_ACCESSES,
+    RunSpec,
+    run_spec,
+    run_specs,
+)
 
 #: Mesh sizes of Fig. 8 (width, height).
 MESHES: Tuple[Tuple[int, int], ...] = ((2, 2), (4, 4), (8, 8))
@@ -57,6 +62,23 @@ def fig8(
     accesses_per_core: int = FIGURE_ACCESSES,
     verbose: bool = False,
 ) -> Fig8Result:
+    run_specs(
+        [
+            RunSpec(
+                scheme=scheme,
+                workload=workload,
+                width=width,
+                height=height,
+                accesses_per_core=accesses_per_core,
+                l2_sets_per_bank=_BANK_SETS.get((width, height), 32),
+                l2_hit_latency=_BANK_LATENCY.get((width, height), 4),
+            )
+            for width, height in meshes
+            for workload in workloads
+            for scheme in (REFERENCE, *SCHEMES)
+        ],
+        verbose=verbose,
+    )  # parallel fan-out; the loops below hit the memo cache
     average: Dict[Tuple[int, int], Dict[str, float]] = {}
     overlap_share: Dict[Tuple[int, int], float] = {}
     for width, height in meshes:

@@ -1,14 +1,39 @@
-"""Shared simulation runner with memoization.
+"""Shared simulation runner: parallel fan-out + two-level result cache.
 
-A :class:`RunSpec` pins every degree of freedom of one simulation; results
-are cached per spec so experiments that share runs (Fig. 5's latency view
-and Fig. 7's energy view of the identical simulations) only pay once.
+A :class:`RunSpec` pins every degree of freedom of one simulation.  The
+simulator is deterministic (seeded RNGs, no wall-clock — see
+:mod:`repro.sim`), so a spec fully determines its
+:class:`~repro.cmp.system.SimulationResult`; that makes results cacheable
+and simulations embarrassingly parallel:
+
+- **Memo cache** (per process): experiments that share runs — Fig. 5's
+  latency view and Fig. 7's energy view of the identical simulations —
+  only pay once per process, as before.
+- **Disk cache** (cross-process, content-addressed): results are pickled
+  under ``~/.cache/repro-disco/`` (override with ``REPRO_CACHE_DIR``)
+  keyed by a stable hash of the spec plus a code fingerprint
+  (:data:`CODE_VERSION` + a digest of the ``repro`` sources), so
+  re-running a figure is free and any code change invalidates stale
+  results automatically.  Disable with ``REPRO_DISK_CACHE=0``; clear with
+  :func:`clear_disk_cache` (or just delete the directory).
+- **Parallel fan-out**: :func:`run_specs` / :func:`run_matrix` dispatch
+  uncached specs over a ``ProcessPoolExecutor`` (workers default to the
+  CPU count; pin with ``REPRO_JOBS``, ``REPRO_JOBS=1`` forces serial).
+  Determinism guarantees the parallel results are bit-identical to serial
+  runs — the acceptance tests assert it field for field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as _dc_replace
-from typing import Dict, Iterable
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace as _dc_replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cmp.config import SystemConfig
 from repro.cmp.schemes import make_scheme
@@ -39,6 +64,11 @@ WARMUP_FRACTION = 0.25
 
 #: Sample size used to train statistical algorithms (SC², FVC) per run.
 TRAIN_LINES = 512
+
+#: Bumped when simulation semantics change in a way the source fingerprint
+#: cannot see (e.g. a data-file format change).  Part of every disk-cache
+#: key, so bumping it invalidates all cached results at once.
+CODE_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -79,19 +109,129 @@ class RunSpec:
         return profile
 
 
+# --------------------------------------------------------------------------
+# cache keys
+# --------------------------------------------------------------------------
+
+_SOURCE_FINGERPRINT: Optional[str] = None
+
+
+def _source_fingerprint() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Any edit to the simulator invalidates disk-cached results without
+    anyone having to remember to bump :data:`CODE_VERSION`; stable across
+    processes because it hashes file bytes, not interpreter state.
+    """
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is None:
+        digest = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        try:
+            for path in sorted(root.rglob("*.py")):
+                digest.update(path.relative_to(root).as_posix().encode())
+                digest.update(path.read_bytes())
+        except OSError:  # pragma: no cover - zip/frozen installs
+            pass
+        _SOURCE_FINGERPRINT = digest.hexdigest()
+    return _SOURCE_FINGERPRINT
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content address of (spec, code version) — identical across
+    processes and interpreter sessions, independent of hash randomization."""
+    token = json.dumps(
+        {
+            "spec": asdict(spec),
+            "code_version": CODE_VERSION,
+            "source": _source_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# the two cache levels
+# --------------------------------------------------------------------------
+
 _CACHE: Dict[RunSpec, SimulationResult] = {}
 
 
+def cache_dir() -> Path:
+    """Disk-cache directory (``REPRO_CACHE_DIR`` overrides the default)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro-disco").expanduser()
+
+
+def disk_cache_enabled() -> bool:
+    return os.environ.get("REPRO_DISK_CACHE", "1") != "0"
+
+
 def clear_cache() -> None:
-    """Drop all memoized results (tests use this for isolation)."""
+    """Drop all memoized in-process results (tests use this for isolation).
+
+    The disk cache is left alone; see :func:`clear_disk_cache`.
+    """
     _CACHE.clear()
 
 
-def run_spec(spec: RunSpec, verbose: bool = False) -> SimulationResult:
-    """Run (or recall) one simulation."""
-    cached = _CACHE.get(spec)
-    if cached is not None:
-        return cached
+def clear_disk_cache() -> int:
+    """Delete every cached result file; returns how many were removed."""
+    removed = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for path in directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+    return removed
+
+
+def _disk_path(spec: RunSpec) -> Path:
+    return cache_dir() / f"{spec_key(spec)}.pkl"
+
+
+def _disk_load(spec: RunSpec) -> Optional[SimulationResult]:
+    if not disk_cache_enabled():
+        return None
+    path = _disk_path(spec)
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None  # missing or stale/corrupt entry -> recompute
+
+
+def _disk_store(spec: RunSpec, result: SimulationResult) -> None:
+    if not disk_cache_enabled():
+        return
+    directory = cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent writers of the same (deterministic)
+        # result race harmlessly — last rename wins with identical bytes.
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, _disk_path(spec))
+    except OSError:  # pragma: no cover - read-only cache dir
+        pass
+
+
+# --------------------------------------------------------------------------
+# running
+# --------------------------------------------------------------------------
+
+
+def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
+    """Build and run one simulation (no caches — the pool workers' entry
+    point, importable at module top level so specs pickle across
+    processes)."""
     config = spec.config()
     scheme = make_scheme(spec.scheme, algorithm=spec.algorithm)
     traces = generate_traces(
@@ -108,9 +248,7 @@ def run_spec(spec: RunSpec, verbose: bool = False) -> SimulationResult:
     if verbose:
         print(f"running {spec.scheme}/{spec.algorithm} on {spec.workload} "
               f"({spec.width}x{spec.height})...")
-    result = system.run()
-    _CACHE[spec] = result
-    return result
+    return system.run()
 
 
 def _train_if_needed(system: CmpSystem, spec: RunSpec) -> None:
@@ -125,18 +263,103 @@ def _train_if_needed(system: CmpSystem, spec: RunSpec) -> None:
     train(sample)
 
 
+def run_spec(spec: RunSpec, verbose: bool = False) -> SimulationResult:
+    """Run (or recall) one simulation: memo -> disk -> simulate."""
+    cached = _CACHE.get(spec)
+    if cached is not None:
+        return cached
+    result = _disk_load(spec)
+    if result is None:
+        result = _simulate(spec, verbose=verbose)
+        _disk_store(spec, result)
+    _CACHE[spec] = result
+    return result
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set (min 1), else the CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    verbose: bool = False,
+) -> Dict[RunSpec, SimulationResult]:
+    """Resolve a batch of specs, fanning cache misses out over processes.
+
+    Duplicate specs are deduplicated; cached results (memo or disk) are
+    never resubmitted, so figures sharing runs stay shared across both
+    processes and invocations.  With one miss (or one worker) the batch
+    runs serially in-process — no pool overhead.  Determinism makes the
+    parallel path bit-identical to the serial one.
+    """
+    ordered: List[RunSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            ordered.append(spec)
+    out: Dict[RunSpec, SimulationResult] = {}
+    misses: List[RunSpec] = []
+    for spec in ordered:
+        cached = _CACHE.get(spec)
+        if cached is None:
+            cached = _disk_load(spec)
+            if cached is not None:
+                _CACHE[spec] = cached
+        if cached is not None:
+            out[spec] = cached
+        else:
+            misses.append(spec)
+    if not misses:
+        return out
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    jobs = min(jobs, len(misses))
+    if jobs == 1:
+        for spec in misses:
+            out[spec] = run_spec(spec, verbose=verbose)
+        return out
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for spec, result in zip(misses, pool.map(_simulate, misses)):
+            _CACHE[spec] = result
+            _disk_store(spec, result)
+            out[spec] = result
+            if verbose:
+                print(f"finished {spec.scheme}/{spec.algorithm} on "
+                      f"{spec.workload} ({spec.width}x{spec.height})")
+    return out
+
+
 def run_matrix(
     schemes: Iterable[str],
     workloads: Iterable[str],
     verbose: bool = False,
+    jobs: Optional[int] = None,
     **spec_kwargs,
 ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run scheme x workload; returns ``results[scheme][workload]``."""
-    out: Dict[str, Dict[str, SimulationResult]] = {}
-    for scheme in schemes:
-        row: Dict[str, SimulationResult] = {}
-        for workload in workloads:
-            spec = RunSpec(scheme=scheme, workload=workload, **spec_kwargs)
-            row[workload] = run_spec(spec, verbose=verbose)
-        out[scheme] = row
-    return out
+    """Run scheme x workload (in parallel); returns
+    ``results[scheme][workload]``."""
+    schemes = list(schemes)
+    workloads = list(workloads)
+    grid = {
+        (scheme, workload): RunSpec(
+            scheme=scheme, workload=workload, **spec_kwargs
+        )
+        for scheme in schemes
+        for workload in workloads
+    }
+    resolved = run_specs(list(grid.values()), jobs=jobs, verbose=verbose)
+    return {
+        scheme: {
+            workload: resolved[grid[(scheme, workload)]]
+            for workload in workloads
+        }
+        for scheme in schemes
+    }

@@ -62,10 +62,21 @@ class NetworkInterface:
                 return True
         return False
 
-    def tick(self) -> None:
+    def tick(self, cycle: Optional[int] = None) -> None:
         self._deliver_pending()
         for vnet in range(self.config.vnets):
             self._advance_stream(vnet)
+
+    def describe_backlog(self) -> str:
+        """One-line queue/stream summary for wedge snapshots."""
+        queued = sum(len(queue) for queue in self._queues)
+        streaming = sum(
+            1 for stream in self._streaming if stream is not None
+        )
+        return (
+            f"{queued} packets queued, {streaming} streams open, "
+            f"{len(self._pending_delivery)} ejections pending"
+        )
 
     def _advance_stream(self, vnet: int) -> None:
         stream = self._streaming[vnet]

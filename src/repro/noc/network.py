@@ -1,7 +1,20 @@
-"""The mesh network: routers + NIs + the cycle loop.
+"""The mesh network: routers + NIs, assembled on the simulation kernel.
 
-The network owns the global cycle counter and three pluggable hooks the CMP
-scheme layer configures:
+The network no longer hand-walks its routers each cycle — it registers
+components on a :class:`repro.sim.SimKernel` in five ordered phases:
+
+- ``net.frame`` — start-of-cycle housekeeping (ejection-token refill);
+- ``net.arrivals`` — link arrivals land in their target VCs;
+- ``net.routers`` — the 3-stage router pipelines;
+- ``net.nis`` — injection streaming and pending ejection deliveries;
+- ``net.delivery`` — same-tile (local) deliveries.
+
+The kernel owns the global clock; a :class:`CmpSystem` passes its own
+kernel in so cores, banks and the memory controller tick on the same clock
+in phases appended after these.  ``Network.tick()`` remains as a
+convenience that steps the whole kernel by one cycle.
+
+Three pluggable hooks are configured by the CMP scheme layer:
 
 - ``inject_transform(node, packet) -> extra cycles`` — NI-side work at
   injection (CNC's NI compressor);
@@ -23,6 +36,7 @@ from repro.noc.interface import NetworkInterface
 from repro.noc.router import InputVC, Router
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import Mesh
+from repro.sim import CallbackComponent, SimKernel
 
 RouterFactory = Callable[[int, NocConfig, "Network"], Router]
 DeliveryHandler = Callable[[int, Packet], None]
@@ -40,6 +54,85 @@ def _default_priority(packet: Packet) -> int:
     return 1
 
 
+class ArrivalQueue:
+    """Link arrivals scheduled for future cycles (a kernel component)."""
+
+    __slots__ = ("network", "_due")
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self._due: Dict[int, List[Tuple[InputVC, Packet, bool, bool]]] = {}
+
+    def schedule(
+        self,
+        due: int,
+        target_vc: InputVC,
+        packet: Packet,
+        is_head: bool,
+        is_tail: bool,
+    ) -> None:
+        self._due.setdefault(due, []).append(
+            (target_vc, packet, is_head, is_tail)
+        )
+
+    def has_work(self) -> bool:
+        return bool(self._due)
+
+    def pending(self) -> int:
+        """Total flits still in flight on links."""
+        return sum(len(batch) for batch in self._due.values())
+
+    def tick(self, cycle: int) -> None:
+        arrivals = self._due.pop(cycle, None)
+        if not arrivals:
+            return
+        stats = self.network.stats
+        for target_vc, packet, is_head, is_tail in arrivals:
+            target_vc.accept_flit(packet, is_head)
+            stats.buffer_writes += 1
+            if is_head:
+                packet.hops_traversed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArrivalQueue({self.pending()} flits in flight)"
+
+
+class LocalDeliveryQueue:
+    """Same-tile deliveries waiting out their NI transform latency."""
+
+    __slots__ = ("network", "_pending")
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self._pending: List[Tuple[int, Packet]] = []
+
+    def schedule(self, ready: int, packet: Packet) -> None:
+        self._pending.append((ready, packet))
+
+    def has_work(self) -> bool:
+        return bool(self._pending)
+
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def tick(self, cycle: int) -> None:
+        remaining = []
+        network = self.network
+        for ready, packet in self._pending:
+            if ready <= cycle:
+                packet.ejected_cycle = cycle
+                network.stats.record_ejection(
+                    packet.ptype.value, cycle - packet.injected_cycle
+                )
+                network.deliver(packet.dst, packet)
+            else:
+                remaining.append((ready, packet))
+        self._pending = remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LocalDeliveryQueue({len(self._pending)} pending)"
+
+
 class Network:
     """A cycle-level mesh NoC instance."""
 
@@ -47,11 +140,12 @@ class Network:
         self,
         config: NocConfig,
         router_factory: Optional[RouterFactory] = None,
+        kernel: Optional[SimKernel] = None,
     ):
         self.config = config
         self.mesh = Mesh(config.width, config.height)
         self.stats = NetworkStats()
-        self.cycle = 0
+        self.kernel = kernel if kernel is not None else SimKernel()
         factory = router_factory or Router
         self.routers: List[Router] = [
             factory(node, config, self) for node in range(self.mesh.n_nodes)
@@ -59,14 +153,68 @@ class Network:
         self.nis: List[NetworkInterface] = [
             NetworkInterface(node, self) for node in range(self.mesh.n_nodes)
         ]
-        self._arrivals: Dict[int, List[Tuple[InputVC, Packet, bool, bool]]] = {}
-        self._local_deliveries: List[Tuple[int, Packet]] = []
+        self.arrival_queue = ArrivalQueue(self)
+        self.local_deliveries = LocalDeliveryQueue(self)
         self._eject_tokens: List[int] = [0] * self.mesh.n_nodes
         self._delivery_handler: Optional[DeliveryHandler] = None
         # Scheme hooks (see module docstring).
         self.inject_transform: Callable[[int, Packet], int] = _default_inject
         self.eject_transform: Callable[[int, Packet], int] = _default_eject
         self.packet_priority: Callable[[Packet], int] = _default_priority
+        self._register_components()
+
+    def _register_components(self) -> None:
+        kernel = self.kernel
+        kernel.register(
+            CallbackComponent(self._frame_start, label="net.frame"),
+            phase="net.frame",
+        )
+        kernel.register(self.arrival_queue, phase="net.arrivals")
+        for router in self.routers:
+            kernel.register(router, phase="net.routers")
+        for ni in self.nis:
+            kernel.register(ni, phase="net.nis")
+        kernel.register(self.local_deliveries, phase="net.delivery")
+        kernel.stats.register("network", self._network_counters)
+
+    def _frame_start(self, cycle: int) -> None:
+        self.stats.cycles = cycle
+        bandwidth = self.config.ejection_bandwidth
+        tokens = self._eject_tokens
+        for node in range(len(tokens)):
+            tokens[node] = bandwidth
+
+    def _network_counters(self) -> Dict[str, int]:
+        """The NoC's contribution to the kernel's stats registry (legacy
+        flat counter names, consumed by the energy model)."""
+        stats = self.stats
+        return {
+            "cycles": self.kernel.cycle,
+            "link_flits": stats.link_flits,
+            "buffer_writes": stats.buffer_writes,
+            "buffer_reads": stats.buffer_reads,
+            "crossbar_flits": stats.crossbar_flits,
+            "sa_grants": stats.sa_grants,
+            "va_grants": stats.va_grants,
+            "router_compressions": stats.compressions,
+            "router_decompressions": stats.decompressions,
+            "ni_compressions": stats.ni_compressions,
+            "ni_decompressions": stats.ni_decompressions,
+            "flits_injected": stats.flits_injected,
+            "flits_ejected": stats.flits_ejected,
+            "packets_injected": stats.packets_injected,
+        }
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.kernel.cycle
+
+    @cycle.setter
+    def cycle(self, value: int) -> None:
+        # The CMP fast-forward jumps the shared clock over provably idle
+        # cycles; everything reading the clock goes through the kernel.
+        self.kernel.cycle = value
 
     # -- wiring ---------------------------------------------------------------
     def set_delivery_handler(self, handler: DeliveryHandler) -> None:
@@ -88,7 +236,7 @@ class Network:
             self.stats.packets_injected += 1
             delay = 1 + self.inject_transform(packet.src, packet)
             delay += self.eject_transform(packet.dst, packet)
-            self._local_deliveries.append((self.cycle + delay, packet))
+            self.local_deliveries.schedule(self.cycle + delay, packet)
             return
         self.nis[packet.src].inject(packet)
 
@@ -100,9 +248,8 @@ class Network:
         is_head: bool,
         is_tail: bool,
     ) -> None:
-        due = self.cycle + delay
-        self._arrivals.setdefault(due, []).append(
-            (target_vc, packet, is_head, is_tail)
+        self.arrival_queue.schedule(
+            self.cycle + delay, target_vc, packet, is_head, is_tail
         )
 
     def can_eject(self, node: int) -> bool:
@@ -120,44 +267,12 @@ class Network:
 
     # -- the cycle loop ----------------------------------------------------------
     def tick(self) -> None:
-        """Advance the network by one cycle."""
-        self.cycle += 1
-        self.stats.cycles = self.cycle
-        for node in range(self.mesh.n_nodes):
-            self._eject_tokens[node] = self.config.ejection_bandwidth
-        arrivals = self._arrivals.pop(self.cycle, None)
-        if arrivals:
-            for target_vc, packet, is_head, is_tail in arrivals:
-                target_vc.accept_flit(packet, is_head)
-                self.stats.buffer_writes += 1
-                if is_head:
-                    packet.hops_traversed += 1
-        for router in self.routers:
-            if router.has_work():
-                router.tick()
-        for ni in self.nis:
-            if ni.has_work():
-                ni.tick()
-        self._deliver_local()
-
-    def _deliver_local(self) -> None:
-        if not self._local_deliveries:
-            return
-        remaining = []
-        for ready, packet in self._local_deliveries:
-            if ready <= self.cycle:
-                packet.ejected_cycle = self.cycle
-                self.stats.record_ejection(
-                    packet.ptype.value, self.cycle - packet.injected_cycle
-                )
-                self.deliver(packet.dst, packet)
-            else:
-                remaining.append((ready, packet))
-        self._local_deliveries = remaining
+        """Advance the simulation by one cycle (steps the whole kernel)."""
+        self.kernel.step()
 
     def quiescent(self) -> bool:
         """True when nothing is buffered, queued or in flight."""
-        if self._arrivals or self._local_deliveries:
+        if self.arrival_queue.has_work() or self.local_deliveries.has_work():
             return False
         if any(router.has_work() for router in self.routers):
             return False
@@ -169,5 +284,53 @@ class Network:
         while not self.quiescent():
             self.tick()
             if self.cycle - start > max_cycles:
-                raise RuntimeError("network failed to drain (deadlock?)")
+                raise RuntimeError(
+                    "network failed to drain (deadlock?)\n"
+                    + self.wedge_snapshot()
+                )
         return self.cycle - start
+
+    # -- wedge diagnostics ------------------------------------------------------
+    def wedge_snapshot(self) -> str:
+        """Where every buffered flit / queued packet is stuck right now.
+
+        Attached to drain/watchdog failures so a deadlock can be triaged
+        from the exception alone: per-router VC occupancy with the packets
+        held, link flits still in flight, NI injection backlogs, and
+        pending local deliveries.
+        """
+        lines = [f"--- wedge snapshot @ cycle {self.cycle} ---"]
+        in_flight = self.arrival_queue.pending()
+        lines.append(
+            f"link flits in flight: {in_flight}; "
+            f"local deliveries pending: {self.local_deliveries.pending()}"
+        )
+        for router in self.routers:
+            busy = [
+                vc
+                for vc in router.all_vcs
+                if vc.packet is not None or vc.flits_present or vc.incoming
+            ]
+            if not busy:
+                continue
+            buffered = sum(vc.flits_present for vc in busy)
+            incoming = sum(vc.incoming for vc in busy)
+            held = ", ".join(
+                f"port{vc.port}/vc{vc.vc_index}:"
+                f"{vc.packet.ptype.name}"
+                f"({vc.packet.src}->{vc.packet.dst},"
+                f" {vc.flits_sent}/{vc.packet.size_flits} sent,"
+                f" state={vc.state})"
+                for vc in busy
+                if vc.packet is not None
+            )
+            lines.append(
+                f"router {router.node}: {buffered} flits buffered, "
+                f"{incoming} incoming; {held or 'no packet bound'}"
+            )
+        for ni in self.nis:
+            if ni.has_work():
+                lines.append(f"NI {ni.node}: {ni.describe_backlog()}")
+        if len(lines) == 2:
+            lines.append("(no component holds state - clean quiescence)")
+        return "\n".join(lines)

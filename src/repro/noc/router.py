@@ -189,7 +189,7 @@ class Router:
         return False
 
     # -- per-cycle pipeline --------------------------------------------------
-    def tick(self) -> None:
+    def tick(self, cycle: Optional[int] = None) -> None:
         """One cycle: SA/ST first, then VA, then RC (stage separation)."""
         self._switch_allocation()
         self._vc_allocation()

@@ -7,7 +7,6 @@ performance metric.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -42,18 +41,18 @@ class NetworkStats:
 
     # Latency accumulators
     total_packet_latency: int = 0
-    latency_by_type: Dict[str, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    count_by_type: Dict[str, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
+    # Plain dicts (not defaultdicts) so results stay friendly to
+    # ``dataclasses.asdict`` and pickling across the runner's pool.
+    latency_by_type: Dict[str, int] = field(default_factory=dict)
+    count_by_type: Dict[str, int] = field(default_factory=dict)
 
     def record_ejection(self, ptype: str, latency: int) -> None:
         self.packets_ejected += 1
         self.total_packet_latency += latency
-        self.latency_by_type[ptype] += latency
-        self.count_by_type[ptype] += 1
+        self.latency_by_type[ptype] = (
+            self.latency_by_type.get(ptype, 0) + latency
+        )
+        self.count_by_type[ptype] = self.count_by_type.get(ptype, 0) + 1
 
     @property
     def avg_packet_latency(self) -> float:

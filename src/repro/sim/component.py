@@ -1,0 +1,68 @@
+"""The component protocol the kernel schedules.
+
+A *component* is anything with per-cycle behaviour: a router, a network
+interface, the arrival queue, a tile, the CMP event queue.  The kernel
+only ever asks two things of it:
+
+- ``has_work()`` — a cheap idle test.  Components that return False are
+  skipped that cycle (the dominant cost saving of the tick loop: a 64-node
+  mesh is mostly quiescent routers), and the same predicate feeds the
+  kernel's idle/wedge diagnostics.
+- ``tick(cycle)`` — advance one cycle.  The kernel passes the cycle it is
+  executing so components need not reach back into a shared clock.
+
+Purely *reactive* state-holders (NUCA banks, the memory controller — they
+act only when a message or scheduled event calls into them) still register
+with the kernel as **passive** components (``tick=False``): they are never
+ticked, but their ``has_work()`` participates in wedge snapshots so a
+stuck simulation can name the component holding state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Component(Protocol):
+    """Anything the kernel can schedule."""
+
+    def has_work(self) -> bool:
+        """Cheap idle test; False lets the kernel skip ``tick`` this cycle."""
+        ...
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle."""
+        ...
+
+
+class CallbackComponent:
+    """Adapt a bare callable into a :class:`Component`.
+
+    Useful for per-cycle housekeeping steps that are not objects in their
+    own right (e.g. the network's start-of-cycle token refill).  Runs every
+    cycle unless ``has_work_fn`` is given.
+    """
+
+    __slots__ = ("label", "_fn", "_has_work_fn")
+
+    def __init__(
+        self,
+        fn: Callable[[int], None],
+        label: str = "callback",
+        has_work_fn: Optional[Callable[[], bool]] = None,
+    ):
+        self._fn = fn
+        self.label = label
+        self._has_work_fn = has_work_fn
+
+    def has_work(self) -> bool:
+        if self._has_work_fn is not None:
+            return self._has_work_fn()
+        return True
+
+    def tick(self, cycle: int) -> None:
+        self._fn(cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CallbackComponent({self.label})"

@@ -1,0 +1,194 @@
+"""The simulation kernel: one clock, phase-ordered components, one loop.
+
+A :class:`SimKernel` owns the global cycle counter and an ordered list of
+*phases*; each phase holds the components ticked during it.  ``step()``
+advances the clock by one and ticks every active component phase by phase
+— the stage ordering the hand-written loops used to encode positionally
+(network frame setup → arrival delivery → routers → NIs → local delivery
+→ CMP events → tiles) becomes explicit, named, and extensible: a subsystem
+joins the simulation by registering components, not by editing the loop.
+
+Instrumentation is opt-in and zero-cost when off: ``enable_timing()``
+accumulates wall-clock per phase (for profiling the simulator itself —
+never visible to the simulation), and ``set_tracer()`` streams
+``(cycle, phase, component)`` tick events to a callback, which is how a
+wedged simulation can be replayed component-by-component.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.component import Component
+from repro.sim.stats import StatsRegistry
+
+Tracer = Callable[[int, str, Component], None]
+
+
+class Phase:
+    """One named stage of the per-cycle loop."""
+
+    __slots__ = ("name", "components")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.components: List[Component] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Phase({self.name!r}, {len(self.components)} components)"
+
+
+class SimKernel:
+    """Global clock + phase-ordered component schedule + stats registry."""
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.stats = StatsRegistry()
+        self._phases: List[Phase] = []
+        self._phase_by_name: Dict[str, Phase] = {}
+        #: Registered but never ticked (reactive state-holders); they count
+        #: for idle detection and wedge snapshots only.
+        self._passive: List[Tuple[str, Component]] = []
+        self._timing = False
+        self._tracer: Optional[Tracer] = None
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_ticks: Dict[str, int] = {}
+
+    # -- registration -------------------------------------------------------
+    def add_phase(self, name: str, *, before: Optional[str] = None) -> Phase:
+        """Append a phase (or insert it before an existing one).
+
+        Re-adding an existing name returns the existing phase, so
+        independent subsystems can share a phase by agreeing on its name.
+        """
+        existing = self._phase_by_name.get(name)
+        if existing is not None:
+            return existing
+        phase = Phase(name)
+        if before is not None:
+            anchor = self._phase_by_name.get(before)
+            if anchor is None:
+                raise KeyError(f"no phase named {before!r}")
+            self._phases.insert(self._phases.index(anchor), phase)
+        else:
+            self._phases.append(phase)
+        self._phase_by_name[name] = phase
+        return phase
+
+    def register(
+        self, component: Component, phase: str = "main", *, tick: bool = True
+    ) -> None:
+        """Add a component to a phase (creating the phase at the end of the
+        current order if needed).  ``tick=False`` registers a passive
+        component: tracked for diagnostics, never ticked."""
+        if not tick:
+            self._passive.append((phase, component))
+            return
+        self.add_phase(phase).components.append(component)
+
+    def phases(self) -> Tuple[str, ...]:
+        return tuple(phase.name for phase in self._phases)
+
+    def components(self, phase: Optional[str] = None) -> List[Component]:
+        if phase is not None:
+            return list(self._phase_by_name[phase].components)
+        return [c for p in self._phases for c in p.components]
+
+    # -- instrumentation ----------------------------------------------------
+    def enable_timing(self, enabled: bool = True) -> None:
+        """Accumulate wall-clock seconds + tick counts per phase.
+
+        Profiling of the simulator, not the simulation: it cannot change
+        simulated behaviour, only report where host time goes.
+        """
+        self._timing = enabled
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Stream every component tick as ``(cycle, phase, component)``."""
+        self._tracer = tracer
+
+    # -- the loop -----------------------------------------------------------
+    def step(self) -> int:
+        """Advance one cycle; returns the new cycle number."""
+        self.cycle += 1
+        cycle = self.cycle
+        if self._timing or self._tracer is not None:
+            return self._step_instrumented(cycle)
+        for phase in self._phases:
+            for component in phase.components:
+                if component.has_work():
+                    component.tick(cycle)
+        return cycle
+
+    def _step_instrumented(self, cycle: int) -> int:
+        tracer = self._tracer
+        for phase in self._phases:
+            start = time.perf_counter() if self._timing else 0.0
+            ticked = 0
+            for component in phase.components:
+                if component.has_work():
+                    if tracer is not None:
+                        tracer(cycle, phase.name, component)
+                    component.tick(cycle)
+                    ticked += 1
+            if self._timing:
+                name = phase.name
+                self.phase_seconds[name] = self.phase_seconds.get(
+                    name, 0.0
+                ) + (time.perf_counter() - start)
+                self.phase_ticks[name] = self.phase_ticks.get(name, 0) + ticked
+        return cycle
+
+    def run(
+        self,
+        until: Callable[[], bool],
+        max_cycles: Optional[int] = None,
+    ) -> int:
+        """Step until ``until()`` is True; returns cycles stepped.
+
+        Raises :class:`RuntimeError` after ``max_cycles`` steps without the
+        predicate holding (the caller attaches its own wedge diagnostics).
+        """
+        start = self.cycle
+        while not until():
+            self.step()
+            if max_cycles is not None and self.cycle - start > max_cycles:
+                raise RuntimeError(
+                    f"kernel exceeded {max_cycles} cycles without reaching "
+                    "the stop condition"
+                )
+        return self.cycle - start
+
+    # -- diagnostics --------------------------------------------------------
+    def idle(self) -> bool:
+        """True when no component (active or passive) reports work."""
+        return not self.busy_components()
+
+    def busy_components(self) -> List[Tuple[str, Component]]:
+        """Every component currently reporting work, with its phase name."""
+        busy = [
+            (phase.name, component)
+            for phase in self._phases
+            for component in phase.components
+            if component.has_work()
+        ]
+        busy.extend(
+            (phase, component)
+            for phase, component in self._passive
+            if component.has_work()
+        )
+        return busy
+
+    def describe(self) -> str:
+        """A one-line-per-phase schedule summary (debug aid)."""
+        lines = [f"cycle {self.cycle}"]
+        for phase in self._phases:
+            lines.append(
+                f"  {phase.name}: {len(phase.components)} components, "
+                f"{sum(1 for c in phase.components if c.has_work())} busy"
+            )
+        if self._passive:
+            busy = sum(1 for _, c in self._passive if c.has_work())
+            lines.append(f"  (passive): {len(self._passive)} tracked, {busy} busy")
+        return "\n".join(lines)

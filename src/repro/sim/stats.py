@@ -1,0 +1,151 @@
+"""Structured simulation statistics: named, mergeable counter groups.
+
+The registry does not own counters — the substrate objects keep their
+cheap dataclass counters (``NetworkStats``, ``BankStats``...) and register
+a *provider* per group: a callable returning ``{counter_name: value}``.
+Sampling all providers yields a :class:`CounterSnapshot`, an immutable
+grouped view that supports:
+
+- ``flat()`` — the single-namespace dict the energy model consumes
+  (legacy counter names are preserved by the providers);
+- ``delta(base)`` — post-warmup (steady-state) windows: final snapshot
+  minus the snapshot taken at the warmup boundary;
+- ``merge(other)`` — counter-wise sums, for aggregating across runs
+  (e.g. summing per-mesh DISCO decompression counts in Fig. 8).
+
+Snapshots are plain picklable data, so they travel through the parallel
+runner's process pool and the on-disk result cache unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Tuple
+
+Provider = Callable[[], Dict[str, float]]
+
+
+class CounterSnapshot(Mapping[str, Dict[str, float]]):
+    """An immutable sample of every registered counter group."""
+
+    __slots__ = ("_groups",)
+
+    def __init__(
+        self, groups: Mapping[str, Mapping[str, float]] = ()
+    ) -> None:
+        self._groups: Dict[str, Dict[str, float]] = {
+            name: dict(counters) for name, counters in dict(groups).items()
+        }
+
+    # -- mapping protocol ---------------------------------------------------
+    def __getitem__(self, group: str) -> Dict[str, float]:
+        return self._groups[group]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CounterSnapshot):
+            return self._groups == other._groups
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CounterSnapshot({self._groups!r})"
+
+    # -- views --------------------------------------------------------------
+    def flat(self) -> Dict[str, float]:
+        """All counters in one namespace.
+
+        Counter names are globally unique by convention (providers keep the
+        historical flat names); a collision raises so it cannot silently
+        shadow a counter.
+        """
+        out: Dict[str, float] = {}
+        for group, counters in self._groups.items():
+            for key, value in counters.items():
+                if key in out:
+                    raise ValueError(
+                        f"counter name {key!r} (group {group!r}) collides "
+                        "with another group"
+                    )
+                out[key] = value
+        return out
+
+    def get_counter(self, key: str, default: float = 0) -> float:
+        """Look a flat counter name up across all groups."""
+        for counters in self._groups.values():
+            if key in counters:
+                return counters[key]
+        return default
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: dict(counters) for name, counters in self._groups.items()}
+
+    # -- algebra ------------------------------------------------------------
+    def delta(self, base: "CounterSnapshot") -> "CounterSnapshot":
+        """This snapshot minus ``base`` (missing base counters count as 0).
+
+        The steady-state window of a run: ``final.delta(warmup_boundary)``.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for group, counters in self._groups.items():
+            base_group = base._groups.get(group, {})
+            out[group] = {
+                key: value - base_group.get(key, 0)
+                for key, value in counters.items()
+            }
+        return CounterSnapshot(out)
+
+    def merge(self, other: "CounterSnapshot") -> "CounterSnapshot":
+        """Counter-wise sum (groups/counters union)."""
+        out: Dict[str, Dict[str, float]] = self.to_dict()
+        for group, counters in other._groups.items():
+            mine = out.setdefault(group, {})
+            for key, value in counters.items():
+                mine[key] = mine.get(key, 0) + value
+        return CounterSnapshot(out)
+
+    # -- pickling (explicit, because of __slots__) --------------------------
+    def __getstate__(self) -> Dict[str, Dict[str, float]]:
+        return self._groups
+
+    def __setstate__(self, state: Dict[str, Dict[str, float]]) -> None:
+        self._groups = state
+
+
+def merge_snapshots(snapshots: Iterable[CounterSnapshot]) -> CounterSnapshot:
+    """Sum an iterable of snapshots (empty iterable -> empty snapshot)."""
+    merged = CounterSnapshot()
+    for snapshot in snapshots:
+        merged = merged.merge(snapshot)
+    return merged
+
+
+class StatsRegistry:
+    """Named counter groups, each backed by a provider callable."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, Provider] = {}
+
+    def register(self, group: str, provider: Provider) -> None:
+        """Add a counter group; group names must be unique."""
+        if group in self._providers:
+            raise ValueError(f"stats group {group!r} already registered")
+        self._providers[group] = provider
+
+    def unregister(self, group: str) -> None:
+        self._providers.pop(group, None)
+
+    def groups(self) -> Tuple[str, ...]:
+        return tuple(self._providers)
+
+    def __contains__(self, group: str) -> bool:
+        return group in self._providers
+
+    def snapshot(self) -> CounterSnapshot:
+        """Sample every provider into one immutable snapshot."""
+        return CounterSnapshot(
+            {name: provider() for name, provider in self._providers.items()}
+        )

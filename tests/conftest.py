@@ -1,0 +1,18 @@
+"""Shared test fixtures.
+
+The experiment runner persists simulation results to a user-level disk
+cache (``~/.cache/repro-disco``).  Tests must neither read stale results
+from it (a cache hit would mask a behaviour change) nor pollute it, so
+every test session gets a private, throwaway cache directory.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("repro-disco-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(cache_root))
+    yield
+    mp.undo()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DiscoConfig, make_disco_router_factory
-from repro.core.engine import JOB_COMPRESS, JOB_DECOMPRESS
+from repro.core.engine import JOB_COMPRESS
 from repro.noc import Network, NocConfig
 from repro.noc.flit import Packet, PacketType
 from repro.noc.topology import PORT_EAST, PORT_WEST

@@ -4,12 +4,11 @@ import pytest
 
 from repro.compression.registry import get_algorithm
 from repro.core import DiscoConfig
-from repro.core.arbitrator import DiscoArbitrator
-from repro.core.disco_router import DiscoRouter, make_disco_router_factory
+from repro.core.disco_router import make_disco_router_factory
 from repro.core.engine import JOB_COMPRESS, JOB_DECOMPRESS
 from repro.noc import Network, NocConfig
 from repro.noc.flit import Packet, PacketType
-from repro.noc.router import VC_ACTIVE, VC_VA
+from repro.noc.router import VC_ACTIVE
 from repro.noc.topology import PORT_EAST, PORT_WEST
 
 

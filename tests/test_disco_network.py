@@ -1,7 +1,5 @@
 """DISCO-in-network integration tests under synthetic traffic."""
 
-import pytest
-
 from repro.compression.registry import get_timing
 from repro.core import DiscoConfig, disco_priority, make_disco_router_factory
 from repro.noc import Network, NocConfig

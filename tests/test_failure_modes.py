@@ -9,7 +9,6 @@ import pytest
 
 from repro.compression import CompressedLine, get_algorithm
 from repro.cmp import CmpSystem, SystemConfig, make_scheme
-from repro.cmp.bank import HomeBank
 from repro.cmp.messages import Message, MessageKind
 from repro.noc import Network, NocConfig
 from repro.noc.flit import Packet, PacketType

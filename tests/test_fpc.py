@@ -1,7 +1,5 @@
 """Pattern-level tests for FPC and SFPC."""
 
-import pytest
-
 from repro.compression.fpc import (
     FPCCompressor,
     SFPCCompressor,
@@ -12,7 +10,6 @@ from repro.compression.fpc import (
     _SIGNED_HALF,
     _TWO_HALF_BYTES,
     _UNCOMPRESSED,
-    _ZERO_RUN,
     _classify,
 )
 

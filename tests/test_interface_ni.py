@@ -1,7 +1,5 @@
 """Network-interface tests: injection queues, eject transforms, priorities."""
 
-import pytest
-
 from repro.compression import get_algorithm
 from repro.noc import Network, NocConfig
 from repro.noc.flit import Packet, PacketType

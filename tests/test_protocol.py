@@ -5,8 +5,6 @@ events), so each test exercises one protocol scenario deterministically —
 including the grant/recall and writeback races the tile defers.
 """
 
-import pytest
-
 from repro.cmp.bank import DIR_M, DIR_S, DIR_U, HomeBank
 from repro.cmp.config import SystemConfig
 from repro.cmp.core_model import CoreModel

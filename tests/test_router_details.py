@@ -4,7 +4,7 @@ import pytest
 
 from repro.noc import Network, NocConfig
 from repro.noc.flit import Packet, PacketType
-from repro.noc.router import VC_ACTIVE, VC_IDLE, VC_ROUTING, VC_VA, InputVC
+from repro.noc.router import VC_IDLE, VC_ROUTING
 from repro.noc.topology import PORT_EAST, PORT_LOCAL, PORT_WEST
 
 

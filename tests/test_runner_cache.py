@@ -1,0 +1,221 @@
+"""The experiment runner's caches and parallel fan-out.
+
+The simulator is deterministic, so a :class:`RunSpec` is a content
+address: these tests pin the three properties the figure experiments
+lean on — the key is stable across processes, parallel results are
+bit-identical to serial ones, and the disk cache hits/misses/invalidates
+exactly when it should.
+"""
+
+import dataclasses
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import (
+    RunSpec,
+    clear_cache,
+    clear_disk_cache,
+    default_jobs,
+    run_matrix,
+    run_spec,
+    run_specs,
+    spec_key,
+)
+
+#: Small enough to keep each simulation around a tenth of a second.
+QUICK = dict(workload="x264", accesses_per_core=40)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(tmp_path, monkeypatch):
+    """Each test gets an empty memo cache and a private disk cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSpecKey:
+    def test_stable_within_process(self):
+        spec = RunSpec(scheme="disco", **QUICK)
+        assert spec_key(spec) == spec_key(RunSpec(scheme="disco", **QUICK))
+
+    def test_differs_across_specs_and_code_version(self, monkeypatch):
+        a = spec_key(RunSpec(scheme="disco", **QUICK))
+        assert a != spec_key(RunSpec(scheme="cc", **QUICK))
+        monkeypatch.setattr(runner, "CODE_VERSION", "next")
+        assert a != spec_key(RunSpec(scheme="disco", **QUICK))
+
+    def test_stable_across_processes(self):
+        """The content address must not depend on interpreter state
+        (PYTHONHASHSEED randomizes ``hash()`` per process)."""
+        spec = RunSpec(scheme="disco", **QUICK)
+        code = (
+            "from repro.experiments.runner import RunSpec, spec_key;"
+            f"print(spec_key(RunSpec(scheme='disco', workload='x264',"
+            f" accesses_per_core=40)))"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        child = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert child.stdout.strip() == spec_key(spec)
+
+
+class TestDiskCache:
+    def test_miss_simulates_then_hit_skips(self, monkeypatch):
+        spec = RunSpec(scheme="baseline", **QUICK)
+        calls = []
+        real = runner._simulate
+        monkeypatch.setattr(
+            runner,
+            "_simulate",
+            lambda s, verbose=False: calls.append(s) or real(s, verbose),
+        )
+        first = run_spec(spec)
+        assert calls == [spec]  # miss -> simulated
+        clear_cache()  # drop the memo; the disk entry must satisfy the rerun
+        second = run_spec(spec)
+        assert calls == [spec]  # hit -> not simulated again
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_code_version_bump_invalidates(self, monkeypatch):
+        spec = RunSpec(scheme="baseline", **QUICK)
+        run_spec(spec)
+        old_key = spec_key(spec)
+        clear_cache()
+        monkeypatch.setattr(runner, "CODE_VERSION", "2")
+        assert spec_key(spec) != old_key
+        calls = []
+        real = runner._simulate
+        monkeypatch.setattr(
+            runner,
+            "_simulate",
+            lambda s, verbose=False: calls.append(s) or real(s, verbose),
+        )
+        run_spec(spec)
+        assert calls == [spec]  # stale entry ignored, simulation re-ran
+
+    def test_corrupt_entry_recomputed(self):
+        spec = RunSpec(scheme="baseline", **QUICK)
+        result = run_spec(spec)
+        path = runner._disk_path(spec)
+        path.write_bytes(b"not a pickle")
+        clear_cache()
+        again = run_spec(spec)
+        assert dataclasses.asdict(again) == dataclasses.asdict(result)
+
+    def test_opt_out_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        spec = RunSpec(scheme="baseline", **QUICK)
+        run_spec(spec)
+        assert not runner._disk_path(spec).exists()
+
+    def test_clear_disk_cache_counts_files(self):
+        run_spec(RunSpec(scheme="baseline", **QUICK))
+        run_spec(RunSpec(scheme="cc", **QUICK))
+        assert clear_disk_cache() == 2
+        assert clear_disk_cache() == 0
+
+    def test_entries_round_trip_through_pickle(self):
+        spec = RunSpec(scheme="disco", **QUICK)
+        result = run_spec(spec)
+        stored = pickle.loads(runner._disk_path(spec).read_bytes())
+        assert dataclasses.asdict(stored) == dataclasses.asdict(result)
+        # The structured snapshots survive too, not just scalar fields.
+        assert stored.counters_measured == result.counters_measured
+
+
+class TestParallel:
+    SPECS = [
+        RunSpec(scheme=scheme, **QUICK)
+        for scheme in ("baseline", "cc", "cnc", "disco")
+    ]
+
+    def test_parallel_results_bit_identical_to_serial(self):
+        serial = run_specs(self.SPECS, jobs=1)
+        clear_cache()
+        clear_disk_cache()
+        parallel = run_specs(self.SPECS, jobs=2)
+        assert set(serial) == set(parallel)
+        for spec in self.SPECS:
+            assert dataclasses.asdict(serial[spec]) == dataclasses.asdict(
+                parallel[spec]
+            ), f"serial/parallel divergence for {spec.scheme}"
+
+    def test_run_specs_dedupes_and_reuses_cache(self, monkeypatch):
+        spec = RunSpec(scheme="baseline", **QUICK)
+        calls = []
+        real = runner._simulate
+        monkeypatch.setattr(
+            runner,
+            "_simulate",
+            lambda s, verbose=False: calls.append(s) or real(s, verbose),
+        )
+        out = run_specs([spec, spec, spec], jobs=1)
+        assert calls == [spec]
+        assert list(out) == [spec]
+        # A second batch is satisfied wholly from the memo cache.
+        run_specs([spec], jobs=2)
+        assert calls == [spec]
+
+    def test_run_matrix_shape(self):
+        results = run_matrix(
+            ["baseline", "disco"],
+            ["x264", "canneal"],
+            jobs=2,
+            accesses_per_core=40,
+        )
+        assert set(results) == {"baseline", "disco"}
+        for scheme in results:
+            assert set(results[scheme]) == {"x264", "canneal"}
+            for result in results[scheme].values():
+                assert result.scheme == scheme
+                assert result.cycles > 0
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_PERF_TESTS") != "1",
+        reason="wall-clock speedup needs >=2 free CPUs; set REPRO_PERF_TESTS=1",
+    )
+    def test_parallel_speedup(self):
+        specs = [
+            RunSpec(scheme=scheme, workload=workload, accesses_per_core=400)
+            for scheme in ("baseline", "cc", "cnc", "disco")
+            for workload in ("x264", "canneal")
+        ]
+        start = time.perf_counter()
+        run_specs(specs, jobs=1)
+        serial = time.perf_counter() - start
+        clear_cache()
+        clear_disk_cache()
+        start = time.perf_counter()
+        run_specs(specs, jobs=os.cpu_count())
+        parallel = time.perf_counter() - start
+        assert serial / parallel >= 2.0
+
+
+def test_cache_dir_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert runner.cache_dir() == Path(tmp_path / "elsewhere")

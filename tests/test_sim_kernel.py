@@ -1,0 +1,246 @@
+"""The simulation kernel: phases, component gating, stats, diagnostics."""
+
+import pickle
+
+import pytest
+
+from repro.noc import Network, NocConfig
+from repro.noc.flit import Packet, PacketType
+from repro.sim import (
+    CallbackComponent,
+    Component,
+    CounterSnapshot,
+    SimKernel,
+    StatsRegistry,
+    merge_snapshots,
+)
+
+
+class Recorder:
+    """A component that logs its ticks into a shared trace."""
+
+    def __init__(self, name, trace, busy=True):
+        self.name = name
+        self.trace = trace
+        self.busy = busy
+
+    def has_work(self):
+        return self.busy
+
+    def tick(self, cycle):
+        self.trace.append((cycle, self.name))
+
+
+class TestKernelScheduling:
+    def test_phase_order_is_registration_order(self):
+        kernel = SimKernel()
+        trace = []
+        kernel.register(Recorder("b", trace), phase="beta")
+        kernel.register(Recorder("a", trace), phase="alpha")
+        kernel.step()
+        assert trace == [(1, "b"), (1, "a")]
+        assert kernel.phases() == ("beta", "alpha")
+
+    def test_add_phase_before_reorders(self):
+        kernel = SimKernel()
+        trace = []
+        kernel.register(Recorder("late", trace), phase="late")
+        kernel.add_phase("early", before="late")
+        kernel.register(Recorder("early", trace), phase="early")
+        kernel.step()
+        assert trace == [(1, "early"), (1, "late")]
+
+    def test_add_phase_before_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SimKernel().add_phase("x", before="nope")
+
+    def test_shared_phase_by_name(self):
+        kernel = SimKernel()
+        phase = kernel.add_phase("shared")
+        assert kernel.add_phase("shared") is phase
+        trace = []
+        kernel.register(Recorder("one", trace), phase="shared")
+        kernel.register(Recorder("two", trace), phase="shared")
+        assert len(kernel.components("shared")) == 2
+
+    def test_has_work_gates_tick(self):
+        kernel = SimKernel()
+        trace = []
+        idle = Recorder("idle", trace, busy=False)
+        busy = Recorder("busy", trace, busy=True)
+        kernel.register(idle)
+        kernel.register(busy)
+        kernel.step()
+        kernel.step()
+        assert trace == [(1, "busy"), (2, "busy")]
+
+    def test_passive_components_never_tick_but_count_as_busy(self):
+        kernel = SimKernel()
+        trace = []
+        passive = Recorder("passive", trace, busy=True)
+        kernel.register(passive, phase="banks", tick=False)
+        kernel.step()
+        assert trace == []  # never ticked...
+        assert not kernel.idle()  # ...but holds the kernel non-idle
+        assert ("banks", passive) in kernel.busy_components()
+        passive.busy = False
+        assert kernel.idle()
+
+    def test_run_until_predicate(self):
+        kernel = SimKernel()
+        stepped = kernel.run(until=lambda: kernel.cycle >= 10)
+        assert stepped == 10
+        assert kernel.cycle == 10
+
+    def test_run_max_cycles_raises(self):
+        kernel = SimKernel()
+        with pytest.raises(RuntimeError, match="exceeded 5 cycles"):
+            kernel.run(until=lambda: False, max_cycles=5)
+
+    def test_callback_component(self):
+        ticks = []
+        comp = CallbackComponent(ticks.append, label="cb")
+        assert isinstance(comp, Component)
+        assert comp.has_work()
+        comp.tick(7)
+        assert ticks == [7]
+        gated = CallbackComponent(
+            ticks.append, label="gated", has_work_fn=lambda: False
+        )
+        assert not gated.has_work()
+
+    def test_describe_mentions_phases(self):
+        kernel = SimKernel()
+        kernel.register(Recorder("r", [], busy=True), phase="net.routers")
+        kernel.register(Recorder("p", [], busy=False), phase="banks", tick=False)
+        text = kernel.describe()
+        assert "net.routers" in text
+        assert "passive" in text
+
+
+class TestInstrumentation:
+    def test_timing_accumulates_per_phase(self):
+        kernel = SimKernel()
+        kernel.register(Recorder("a", [], busy=True), phase="work")
+        kernel.register(Recorder("b", [], busy=False), phase="work")
+        kernel.enable_timing()
+        for _ in range(3):
+            kernel.step()
+        assert kernel.phase_ticks == {"work": 3}  # idle b never counted
+        assert kernel.phase_seconds["work"] >= 0.0
+
+    def test_tracer_sees_every_tick_in_order(self):
+        kernel = SimKernel()
+        a = Recorder("a", [], busy=True)
+        b = Recorder("b", [], busy=True)
+        kernel.register(a, phase="p1")
+        kernel.register(b, phase="p2")
+        events = []
+        kernel.set_tracer(lambda cycle, phase, comp: events.append((cycle, phase, comp)))
+        kernel.step()
+        assert events == [(1, "p1", a), (1, "p2", b)]
+        kernel.set_tracer(None)
+        kernel.step()
+        assert len(events) == 2  # tracer off again
+
+
+class TestStatsRegistry:
+    def test_snapshot_samples_providers(self):
+        registry = StatsRegistry()
+        counters = {"hits": 1}
+        registry.register("l1", lambda: dict(counters))
+        snap1 = registry.snapshot()
+        counters["hits"] = 5
+        snap2 = registry.snapshot()
+        assert snap1["l1"]["hits"] == 1  # immutable sample
+        assert snap2["l1"]["hits"] == 5
+        assert registry.groups() == ("l1",)
+        assert "l1" in registry
+
+    def test_duplicate_group_raises(self):
+        registry = StatsRegistry()
+        registry.register("g", dict)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("g", dict)
+
+    def test_flat_and_collision(self):
+        snap = CounterSnapshot({"a": {"x": 1}, "b": {"y": 2}})
+        assert snap.flat() == {"x": 1, "y": 2}
+        clash = CounterSnapshot({"a": {"x": 1}, "b": {"x": 2}})
+        with pytest.raises(ValueError, match="collides"):
+            clash.flat()
+
+    def test_get_counter_searches_groups(self):
+        snap = CounterSnapshot({"a": {"x": 1}, "b": {"y": 2}})
+        assert snap.get_counter("y") == 2
+        assert snap.get_counter("missing", default=-1) == -1
+
+    def test_delta_is_steady_state_window(self):
+        base = CounterSnapshot({"net": {"flits": 10, "cycles": 100}})
+        final = CounterSnapshot({"net": {"flits": 25, "cycles": 300}, "l1": {"hits": 4}})
+        window = final.delta(base)
+        assert window["net"] == {"flits": 15, "cycles": 200}
+        assert window["l1"] == {"hits": 4}  # missing base group counts as 0
+
+    def test_merge_sums_counterwise(self):
+        a = CounterSnapshot({"net": {"flits": 1}})
+        b = CounterSnapshot({"net": {"flits": 2}, "l1": {"hits": 3}})
+        merged = a.merge(b)
+        assert merged["net"] == {"flits": 3}
+        assert merged["l1"] == {"hits": 3}
+        assert merge_snapshots([a, b, a]).flat() == {"flits": 4, "hits": 3}
+        assert merge_snapshots([]) == CounterSnapshot()
+
+    def test_snapshot_pickles(self):
+        snap = CounterSnapshot({"net": {"flits": 7}})
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        assert clone.flat() == {"flits": 7}
+
+
+class TestNetworkOnKernel:
+    def test_network_registers_phases_in_order(self):
+        network = Network(NocConfig(width=2, height=2))
+        assert network.kernel.phases() == (
+            "net.frame",
+            "net.arrivals",
+            "net.routers",
+            "net.nis",
+            "net.delivery",
+        )
+        assert "network" in network.kernel.stats
+
+    def test_network_counters_via_registry(self):
+        network = Network(NocConfig(width=2, height=2))
+        network.set_delivery_handler(lambda node, p: None)
+        network.send(Packet(PacketType.REQUEST, 0, 3))
+        network.run_until_quiescent()
+        flat = network.kernel.stats.snapshot().flat()
+        assert flat["packets_injected"] == 1
+        assert flat["flits_ejected"] >= 1
+        assert flat["cycles"] == network.cycle
+
+    def test_wedge_snapshot_attached_to_drain_failure(self):
+        network = Network(NocConfig(width=2, height=2))
+        # A head flit whose tail never arrives: the router binds the packet
+        # and waits forever, so the drain loop must wedge and explain where.
+        packet = Packet(PacketType.RESPONSE, 0, 3, line=b"\x00" * 64)
+        packet.injected_cycle = 0
+        vc = network.routers[3].all_vcs[0]
+        network.schedule_arrival(1, vc, packet, is_head=True, is_tail=False)
+        with pytest.raises(RuntimeError) as excinfo:
+            network.run_until_quiescent(max_cycles=200)
+        message = str(excinfo.value)
+        assert "wedge snapshot" in message
+        assert "router 3" in message
+        assert "RESPONSE" in message
+        assert "0->3" in message
+
+    def test_wedge_snapshot_reports_inflight_link_flits(self):
+        network = Network(NocConfig(width=2, height=2))
+        packet = Packet(PacketType.REQUEST, 0, 3)
+        vc = network.routers[3].all_vcs[0]
+        # Scheduled far in the future: stays "in flight" past the deadline.
+        network.schedule_arrival(10_000, vc, packet, is_head=True, is_tail=True)
+        with pytest.raises(RuntimeError, match="link flits in flight: 1"):
+            network.run_until_quiescent(max_cycles=100)

@@ -22,7 +22,7 @@ def check_invariants(system):
     stats = system.network.stats
     assert stats.packets_injected == stats.packets_ejected
     assert system.network.quiescent()
-    assert not system._events
+    assert not system.events.has_work()
     for bank in system.banks:
         assert not bank.pending
         for addr, entry in bank.directory.items():

@@ -4,7 +4,7 @@ packets, keeps coherence invariants and flows real data end-to-end."""
 import pytest
 
 from repro.cmp import CmpSystem, SystemConfig, make_scheme
-from repro.cmp.bank import DIR_M, DIR_S, DIR_U
+from repro.cmp.bank import DIR_M, DIR_S
 from repro.cmp.schemes import SCHEME_NAMES
 from repro.workloads import generate_traces, get_profile
 
@@ -37,7 +37,7 @@ def test_packet_conservation(scheme):
     system, result = run_system(scheme)
     stats = system.network.stats
     assert stats.packets_injected == stats.packets_ejected
-    assert not system._events
+    assert not system.events.has_work()
     assert system.network.quiescent()
 
 

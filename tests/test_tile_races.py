@@ -6,8 +6,6 @@ M grant, an invalidation overtaking an S grant, and the stale-writeback-
 marker case that WB_ACK makes precise.
 """
 
-import pytest
-
 from repro.cmp.config import SystemConfig
 from repro.cmp.core_model import CoreModel
 from repro.cmp.messages import Message, MessageKind

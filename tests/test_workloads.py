@@ -3,7 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workloads import (
@@ -16,7 +15,7 @@ from repro.workloads import (
     sample_corpus,
 )
 from repro.workloads.patterns import PATTERN_GENERATORS
-from repro.workloads.trace import PRIVATE_BASE, MemoryAccess
+from repro.workloads.trace import PRIVATE_BASE
 
 
 class TestPatterns:
