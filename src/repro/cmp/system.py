@@ -511,8 +511,17 @@ class CmpSystem:
         return 0
 
     # -- the simulation loop ---------------------------------------------------------
-    def run(self, max_cycles: int = _WATCHDOG_LIMIT) -> SimulationResult:
-        """Step the shared kernel until every core drained its trace."""
+    def run(
+        self,
+        max_cycles: int = _WATCHDOG_LIMIT,
+        stall_limit: int = 200_000,
+    ) -> SimulationResult:
+        """Step the shared kernel until every core drained its trace.
+
+        ``stall_limit`` is the watchdog window: cycles without any core
+        progressing before the run is declared wedged (fault-injection
+        tests shrink it so a deliberate wedge fails fast).
+        """
         tiles = self.tiles
         kernel = self.kernel
         last_progress_cycle = 0
@@ -531,7 +540,7 @@ class CmpSystem:
             if signature != last_outstanding:
                 last_outstanding = signature
                 last_progress_cycle = cycle
-            elif cycle - last_progress_cycle > 200_000:
+            elif cycle - last_progress_cycle > stall_limit:
                 raise RuntimeError(
                     f"simulation wedged at cycle {cycle} "
                     f"(scheme={self.scheme.name})\n"

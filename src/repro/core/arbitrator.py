@@ -60,6 +60,10 @@ class DiscoArbitrator:
         packet = vc.packet
         if packet is None or not packet.carries_data:
             return None
+        if packet.poisoned:
+            # An engine fault already hit this packet; it stays on the
+            # uncompressed / NI-decompression fallback path.
+            return None
         if vc.out_port < 0:
             return None  # RC has not resolved a direction yet
         if packet.is_compressed and packet.decompress_at_dst:

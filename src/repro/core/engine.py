@@ -54,6 +54,7 @@ class EngineJob:
         "session",
         "consumed",
         "emitted",
+        "fault_checked",
     )
 
     def __init__(
@@ -69,6 +70,7 @@ class EngineJob:
         self.session: Optional[SeparateDeltaSession] = None
         self.consumed = 0  # payload flits taken into the compressor
         self.emitted = 0  # compressed flits written back to the buffer
+        self.fault_checked = False  # one fault draw per job (repro.faults)
 
     @property
     def committed(self) -> bool:
@@ -177,6 +179,19 @@ class DiscoCompressorEngine:
             raise RuntimeError("engine job outlived its VC assignment")
         if cycle < job.ready:
             return False
+        faults = self.router.network.faults
+        if faults is not None and not job.fault_checked:
+            job.fault_checked = True
+            action = faults.engine_action(cycle, self.router.node, job)
+            if action == "stall":
+                # The engine sits idle for extra cycles; the shadow packet
+                # stays schedulable, so the stall is absorbed, not fatal.
+                job.ready = cycle + faults.plan.stall_cycles
+                return False
+            if action == "bitflip":
+                self._complete_degraded(job)
+                vc.engine_job = None
+                return True
         if job.separate:
             return self._advance_streaming(job)
         if vc.flits_received < packet.size_flits:  # pragma: no cover
@@ -255,6 +270,21 @@ class DiscoCompressorEngine:
             raise RuntimeError("compression bookkeeping out of sync")
         stats.compressions += 1
         stats.flits_saved += saved
+
+    def _complete_degraded(self, job: EngineJob) -> None:
+        """Graceful degradation after an engine bit-flip fault (§ fault
+        model): the engine output is untrusted and discarded, the packet is
+        poisoned so the arbitrator never re-dispatches it, and the line
+        travels on the fallback path — uncompressed for a compression job,
+        NI-side residual decompression for a decompression job.  No flits
+        were consumed (the fault strikes at the ready boundary), so buffer
+        bookkeeping is untouched."""
+        packet = job.packet
+        packet.poisoned = True
+        packet.compressible = False
+        degraded = self.router.network.degraded
+        degraded.poisoned_packets += 1
+        degraded.degraded_transmissions += 1
 
     def _complete_decompression(self, job: EngineJob) -> None:
         packet = job.packet

@@ -21,6 +21,16 @@ and simulations embarrassingly parallel:
   CPU count; pin with ``REPRO_JOBS``, ``REPRO_JOBS=1`` forces serial).
   Determinism guarantees the parallel results are bit-identical to serial
   runs — the acceptance tests assert it field for field.
+
+The batch path is hardened against worker failure: each spec gets its own
+future with a per-spec timeout (``REPRO_SPEC_TIMEOUT`` seconds, default
+600; ``0`` disables) and one retry; a worker that dies abruptly
+(``BrokenProcessPool``) triggers a serial in-process fallback that keeps
+every already-completed result; and a batch with unrecoverable failures
+raises :class:`RunnerError` naming exactly the failed specs while the
+survivors stay in the memo/disk caches.  Disk-cache entries carry a
+magic + SHA-256 envelope; an entry that fails validation is quarantined
+(renamed ``*.corrupt``) once and recomputed.
 """
 
 from __future__ import annotations
@@ -30,7 +40,10 @@ import json
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, replace as _dc_replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -69,6 +82,48 @@ TRAIN_LINES = 512
 #: cannot see (e.g. a data-file format change).  Part of every disk-cache
 #: key, so bumping it invalidates all cached results at once.
 CODE_VERSION = "1"
+
+#: Disk-cache envelope: magic (format version) + SHA-256 of the pickle
+#: payload.  Bump the magic when the envelope layout changes; entries with
+#: any other prefix are quarantined, not parsed.
+_CACHE_MAGIC = b"RDC1"
+_ENVELOPE_HEADER = len(_CACHE_MAGIC) + hashlib.sha256().digest_size
+
+#: Default per-spec timeout for pool futures (seconds).
+_DEFAULT_SPEC_TIMEOUT = 600.0
+
+#: Pid of the process that imported this module.  Fork workers inherit the
+#: parent's value, so ``os.getpid() != _MAIN_PID`` identifies pool workers
+#: — the destructive test fault modes (``exit``/``hang``) only fire there,
+#: never in the orchestrating process or its serial fallback.
+_MAIN_PID = os.getpid()
+
+
+class RunnerError(RuntimeError):
+    """One or more specs in a batch failed after retries.
+
+    ``failures`` maps each failed :class:`RunSpec` to its exception;
+    ``completed`` holds every survivor — also already published to the
+    memo/disk caches, so a rerun only repeats the failures.
+    """
+
+    def __init__(
+        self,
+        failures: Dict[RunSpec, BaseException],
+        completed: Dict[RunSpec, "SimulationResult"],
+    ):
+        self.failures = dict(failures)
+        self.completed = dict(completed)
+        names = ", ".join(
+            f"{spec.scheme}/{spec.algorithm}:{spec.workload}"
+            f"({spec.width}x{spec.height}, seed {spec.seed})"
+            for spec in failures
+        )
+        first = next(iter(failures.values()))
+        super().__init__(
+            f"{len(failures)} of {len(failures) + len(completed)} specs "
+            f"failed [{names}]; first error: {first!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -179,21 +234,33 @@ def clear_cache() -> None:
 
 
 def clear_disk_cache() -> int:
-    """Delete every cached result file; returns how many were removed."""
+    """Delete every cached result file (and quarantined ``*.corrupt``
+    leftovers); returns how many were removed."""
     removed = 0
     directory = cache_dir()
     if directory.is_dir():
-        for path in directory.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
+        for pattern in ("*.pkl", "*.pkl.corrupt"):
+            for path in directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
     return removed
 
 
 def _disk_path(spec: RunSpec) -> Path:
     return cache_dir() / f"{spec_key(spec)}.pkl"
+
+
+def _quarantine(path: Path) -> None:
+    """Move a bad cache entry aside (``<name>.corrupt``) so it is inspected
+    at most once: the rename is what guarantees the *next* lookup is a
+    clean miss instead of another validation failure."""
+    try:
+        os.replace(path, path.with_name(path.name + ".corrupt"))
+    except OSError:  # pragma: no cover - concurrent quarantine/cleanup
+        pass
 
 
 def _disk_load(spec: RunSpec) -> Optional[SimulationResult]:
@@ -202,22 +269,43 @@ def _disk_load(spec: RunSpec) -> Optional[SimulationResult]:
     path = _disk_path(spec)
     try:
         with open(path, "rb") as handle:
-            return pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-        return None  # missing or stale/corrupt entry -> recompute
+            blob = handle.read()
+    except FileNotFoundError:
+        return None  # plain miss
+    except OSError:
+        _quarantine(path)  # unreadable entry (permissions, a directory...)
+        return None
+    header, payload = blob[:_ENVELOPE_HEADER], blob[_ENVELOPE_HEADER:]
+    if (
+        len(header) < _ENVELOPE_HEADER
+        or not header.startswith(_CACHE_MAGIC)
+        or header[len(_CACHE_MAGIC):] != hashlib.sha256(payload).digest()
+    ):
+        _quarantine(path)  # truncated / wrong version / bit-rotted
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception:
+        # The checksum matched, so the pickle itself references something
+        # this build cannot reconstruct (e.g. a renamed class the source
+        # fingerprint missed).  Same treatment: quarantine and recompute.
+        _quarantine(path)
+        return None
 
 
 def _disk_store(spec: RunSpec, result: SimulationResult) -> None:
     if not disk_cache_enabled():
         return
     directory = cache_dir()
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = _CACHE_MAGIC + hashlib.sha256(payload).digest() + payload
     try:
         directory.mkdir(parents=True, exist_ok=True)
         # Atomic publish: concurrent writers of the same (deterministic)
         # result race harmlessly — last rename wins with identical bytes.
         fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(blob)
         os.replace(tmp_name, _disk_path(spec))
     except OSError:  # pragma: no cover - read-only cache dir
         pass
@@ -228,10 +316,55 @@ def _disk_store(spec: RunSpec, result: SimulationResult) -> None:
 # --------------------------------------------------------------------------
 
 
+def _maybe_inject_runner_fault(spec: RunSpec) -> None:
+    """Test hook: ``REPRO_RUNNER_FAULT=mode:scheme:workload[:marker]``.
+
+    Sabotages the simulation of one (scheme, workload) so the batch-level
+    failure handling can be exercised end to end with real processes:
+
+    - ``crash``       raise RuntimeError on every attempt;
+    - ``crash-once``  raise once, then succeed (``marker`` file latches);
+    - ``exit``        kill the *worker* process outright (os._exit) — the
+      classic ``BrokenProcessPool`` trigger; never fires in the main
+      process, so the serial fallback completes;
+    - ``hang-once``   sleep past any sane spec timeout once
+      (``REPRO_RUNNER_HANG_SECONDS``, default 5), then succeed.
+    """
+    setting = os.environ.get("REPRO_RUNNER_FAULT", "")
+    if not setting:
+        return
+    parts = setting.split(":")
+    if len(parts) < 3 or spec.scheme != parts[1] or spec.workload != parts[2]:
+        return
+    mode = parts[0]
+    marker = Path(parts[3]) if len(parts) > 3 else None
+    in_worker = os.getpid() != _MAIN_PID
+
+    def _latch() -> bool:
+        """True the first time only (marker file records the firing)."""
+        if marker is None or marker.exists():
+            return False
+        try:
+            marker.touch(exist_ok=False)
+        except OSError:
+            return False
+        return True
+
+    if mode == "crash":
+        raise RuntimeError(f"injected runner fault for {spec.workload}")
+    if mode == "crash-once" and _latch():
+        raise RuntimeError(f"injected one-shot fault for {spec.workload}")
+    if mode == "exit" and in_worker:
+        os._exit(13)
+    if mode == "hang-once" and in_worker and _latch():
+        time.sleep(float(os.environ.get("REPRO_RUNNER_HANG_SECONDS", "5")))
+
+
 def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
     """Build and run one simulation (no caches — the pool workers' entry
     point, importable at module top level so specs pickle across
     processes)."""
+    _maybe_inject_runner_fault(spec)
     config = spec.config()
     scheme = make_scheme(spec.scheme, algorithm=spec.algorithm)
     traces = generate_traces(
@@ -276,15 +409,125 @@ def run_spec(spec: RunSpec, verbose: bool = False) -> SimulationResult:
     return result
 
 
+_JOBS_WARNED = False
+
+
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set (min 1), else the CPU count."""
+    """Worker count: ``REPRO_JOBS`` if set (min 1), else the CPU count.
+
+    An unparseable ``REPRO_JOBS`` falls back to the CPU count with a
+    one-time :class:`RuntimeWarning` naming the bad value — a typo'd pin
+    should not silently fan out across every core.
+    """
+    global _JOBS_WARNED
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            if not _JOBS_WARNED:
+                _JOBS_WARNED = True
+                warnings.warn(
+                    f"ignoring invalid REPRO_JOBS={env!r} "
+                    f"(not an integer); using the CPU count",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return os.cpu_count() or 1
+
+
+def _spec_timeout() -> Optional[float]:
+    """Per-spec future timeout in seconds (``REPRO_SPEC_TIMEOUT``; ``0``
+    or negative disables, unparseable values use the default)."""
+    env = os.environ.get("REPRO_SPEC_TIMEOUT", "").strip()
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            return _DEFAULT_SPEC_TIMEOUT
+        return value if value > 0 else None
+    return _DEFAULT_SPEC_TIMEOUT
+
+
+def _store(spec: RunSpec, result: SimulationResult, verbose: bool) -> None:
+    _CACHE[spec] = result
+    _disk_store(spec, result)
+    if verbose:
+        print(f"finished {spec.scheme}/{spec.algorithm} on "
+              f"{spec.workload} ({spec.width}x{spec.height})")
+
+
+def _run_serial(
+    misses: Sequence[RunSpec],
+    out: Dict[RunSpec, SimulationResult],
+    failures: Dict[RunSpec, BaseException],
+    verbose: bool,
+) -> None:
+    """In-process execution with per-spec isolation: one bad spec records
+    a failure instead of aborting the survivors behind it."""
+    for spec in misses:
+        try:
+            out[spec] = run_spec(spec, verbose=verbose)
+        except Exception as exc:
+            failures[spec] = exc
+
+
+def _run_parallel(
+    misses: Sequence[RunSpec],
+    jobs: int,
+    out: Dict[RunSpec, SimulationResult],
+    failures: Dict[RunSpec, BaseException],
+    verbose: bool,
+) -> None:
+    """Fan misses out over a process pool, one future per spec.
+
+    Each spec gets a per-spec timeout and one retry (a fresh future) on
+    timeout or exception.  A dead worker (``BrokenProcessPool``) abandons
+    the pool and reruns everything unresolved serially in-process —
+    completed results are kept either way.  A future still running after
+    its retry window is abandoned (``shutdown(wait=False)``) rather than
+    joined, so one hung worker cannot hang the batch.
+    """
+    timeout = _spec_timeout()
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    futures = {spec: pool.submit(_simulate, spec) for spec in misses}
+    abandoned = False
+    try:
+        for spec in misses:
+            for attempt in (0, 1):
+                try:
+                    result = futures[spec].result(timeout=timeout)
+                except BrokenProcessPool:
+                    raise  # handled below: serial fallback
+                except _FutureTimeout:
+                    futures[spec].cancel()  # no-op if already running
+                    abandoned = True  # a worker may still be wedged
+                    if attempt == 0:
+                        futures[spec] = pool.submit(_simulate, spec)
+                        continue
+                    failures[spec] = TimeoutError(
+                        f"spec exceeded {timeout}s twice: "
+                        f"{spec.scheme}:{spec.workload}"
+                    )
+                except Exception as exc:
+                    if attempt == 0:
+                        futures[spec] = pool.submit(_simulate, spec)
+                        continue
+                    failures[spec] = exc
+                else:
+                    _store(spec, result, verbose)
+                    out[spec] = result
+                break
+    except BrokenProcessPool:
+        # The pool is unusable (a worker died mid-task, e.g. OOM-kill or
+        # a hard crash).  Keep what finished; rerun the rest in-process.
+        abandoned = True
+        remaining = [
+            spec for spec in misses if spec not in out and spec not in failures
+        ]
+        _run_serial(remaining, out, failures, verbose)
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
 
 
 def run_specs(
@@ -299,6 +542,11 @@ def run_specs(
     processes and invocations.  With one miss (or one worker) the batch
     runs serially in-process — no pool overhead.  Determinism makes the
     parallel path bit-identical to the serial one.
+
+    Failure containment: a spec that fails (after one retry) never takes
+    the batch down with it.  Survivors land in the memo/disk caches and a
+    :class:`RunnerError` naming exactly the failed specs is raised at the
+    end, with the completed results attached.
     """
     ordered: List[RunSpec] = []
     seen = set()
@@ -320,20 +568,15 @@ def run_specs(
             misses.append(spec)
     if not misses:
         return out
+    failures: Dict[RunSpec, BaseException] = {}
     jobs = default_jobs() if jobs is None else max(1, jobs)
     jobs = min(jobs, len(misses))
     if jobs == 1:
-        for spec in misses:
-            out[spec] = run_spec(spec, verbose=verbose)
-        return out
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for spec, result in zip(misses, pool.map(_simulate, misses)):
-            _CACHE[spec] = result
-            _disk_store(spec, result)
-            out[spec] = result
-            if verbose:
-                print(f"finished {spec.scheme}/{spec.algorithm} on "
-                      f"{spec.workload} ({spec.width}x{spec.height})")
+        _run_serial(misses, out, failures, verbose)
+    else:
+        _run_parallel(misses, jobs, out, failures, verbose)
+    if failures:
+        raise RunnerError(failures, out)
     return out
 
 

@@ -1,0 +1,58 @@
+"""Fault injection, end-to-end integrity checking, graceful degradation.
+
+See DESIGN.md §"Failure modes & degradation".  Quick start::
+
+    from repro.faults import CampaignSpec, FaultPlan, run_fault_campaign
+
+    report = run_fault_campaign(
+        CampaignSpec(cycles=1500, injection_rate=0.06),
+        FaultPlan(seed=3, payload_rate=0.004, drop_rate=0.02,
+                  credit_rate=0.004, wedge_rate=0.002,
+                  engine_stall_rate=0.1, engine_bitflip_rate=0.1),
+    )
+    assert report.clean          # zero silent outcomes
+    print(report.summary())
+"""
+
+from repro.faults.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    build_campaign_network,
+    run_fault_campaign,
+)
+from repro.faults.controller import (
+    OUTCOME_DEGRADED,
+    OUTCOME_DETECTED,
+    OUTCOME_SILENT,
+    FaultController,
+    FaultEvent,
+)
+from repro.faults.integrity import (
+    IntegrityChecker,
+    IntegrityError,
+    IntegrityViolation,
+    ReplayCapsule,
+    payload_digest,
+)
+from repro.faults.plan import FAULT_KINDS, PERMANENT, FaultPlan, ScheduledFault
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "FAULT_KINDS",
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "IntegrityChecker",
+    "IntegrityError",
+    "IntegrityViolation",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_DETECTED",
+    "OUTCOME_SILENT",
+    "PERMANENT",
+    "ReplayCapsule",
+    "ScheduledFault",
+    "build_campaign_network",
+    "payload_digest",
+    "run_fault_campaign",
+]

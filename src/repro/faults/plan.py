@@ -1,0 +1,142 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is a pure description — *what* faults to inject, at
+which rates, over which cycle window — with no mutable state, so the same
+plan object can drive many campaigns.  All randomness lives in the
+:class:`~repro.faults.controller.FaultController`'s private
+``random.Random(plan.seed)``: given the same (plan, network, traffic) the
+fault sequence is bit-reproducible, which is what makes an
+:class:`~repro.faults.integrity.IntegrityError` replay capsule actionable.
+
+Five fault kinds (the sabotage modes the old ``test_failure_modes`` suite
+applied by monkeypatching, now first-class):
+
+==============  ============================================================
+``payload``      a flit's payload bytes are corrupted on link traversal
+``credit``       credits at a router input port are destroyed for a while
+``engine``       a compression engine stalls or bit-flips (flavors
+                 ``stall`` / ``bitflip``)
+``drop``         a packet is dropped at the source NI before queueing
+``wedge``        a busy VC refuses to send (transiently or forever)
+==============  ============================================================
+
+Rates are probabilities per *opportunity*: ``payload_rate`` per payload
+flit landing on a link, ``drop_rate`` per packet injected at an NI,
+``credit_rate`` / ``wedge_rate`` per router per cycle, and the two engine
+rates per engine job.  ``scheduled`` pins individual faults to exact
+cycles/sites for targeted tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: The five injectable fault kinds.
+FAULT_KINDS = ("payload", "credit", "engine", "drop", "wedge")
+
+#: ``duration`` value meaning "never release" (permanent wedge).
+PERMANENT = 0
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One fault pinned to an exact cycle (and optionally an exact site).
+
+    ``node`` targets a router (``credit`` / ``wedge`` / ``engine``) or an
+    NI (``drop``); ``None`` lets the controller pick deterministically from
+    its RNG.  ``duration`` overrides the plan default for ``credit`` /
+    ``wedge`` (``PERMANENT`` wedges forever).  ``flavor`` selects the
+    engine fault flavor (``stall`` or ``bitflip``).
+    """
+
+    cycle: int
+    kind: str
+    node: Optional[int] = None
+    duration: Optional[int] = None
+    flavor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.kind == "engine" and self.flavor not in (None, "stall", "bitflip"):
+            raise ValueError(f"unknown engine flavor {self.flavor!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault-injection schedule."""
+
+    seed: int = 0
+    #: P(corrupt) per payload flit arriving over a link.
+    payload_rate: float = 0.0
+    #: P(drop) per packet injected at an NI.
+    drop_rate: float = 0.0
+    #: P(steal credits) per router per cycle.
+    credit_rate: float = 0.0
+    #: P(wedge a busy VC) per router per cycle.
+    wedge_rate: float = 0.0
+    #: P(stall) / P(bit-flip) per engine job, drawn once at the job's
+    #: ready boundary.
+    engine_stall_rate: float = 0.0
+    engine_bitflip_rate: float = 0.0
+    #: Credits destroyed per credit fault and cycles until they resync.
+    credit_loss: int = 2
+    credit_duration: int = 64
+    #: Cycles a rate-sampled wedge holds its VC (scheduled wedges may pass
+    #: ``PERMANENT`` to hold forever).
+    wedge_duration: int = 64
+    #: Extra engine-busy cycles per stall fault.
+    stall_cycles: int = 16
+    #: Injection window; faults fire only in ``[start_cycle, end_cycle)``
+    #: (``None`` = no upper bound).  Scheduled faults ignore the window.
+    start_cycle: int = 0
+    end_cycle: Optional[int] = None
+    #: Hard cap on injected faults (``None`` = unlimited).
+    max_faults: Optional[int] = None
+    #: Faults pinned to exact cycles (targeted tests, replay).
+    scheduled: Tuple[ScheduledFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "payload_rate",
+            "drop_rate",
+            "credit_rate",
+            "wedge_rate",
+            "engine_stall_rate",
+            "engine_bitflip_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.engine_stall_rate + self.engine_bitflip_rate > 1.0:
+            raise ValueError("engine stall + bitflip rates exceed 1.0")
+        if self.credit_loss < 1 or self.credit_duration < 1:
+            raise ValueError("credit_loss and credit_duration must be >= 1")
+        if self.wedge_duration < 1:
+            raise ValueError(
+                "wedge_duration must be >= 1 (use ScheduledFault with "
+                "duration=PERMANENT for a permanent wedge)"
+            )
+        if self.stall_cycles < 1:
+            raise ValueError("stall_cycles must be >= 1")
+
+    def is_zero(self) -> bool:
+        """True when the plan can never inject anything (the inert plan a
+        bit-identity check attaches)."""
+        return (
+            self.payload_rate == 0.0
+            and self.drop_rate == 0.0
+            and self.credit_rate == 0.0
+            and self.wedge_rate == 0.0
+            and self.engine_stall_rate == 0.0
+            and self.engine_bitflip_rate == 0.0
+            and not self.scheduled
+        )
+
+    def in_window(self, cycle: int) -> bool:
+        if cycle < self.start_cycle:
+            return False
+        return self.end_cycle is None or cycle < self.end_cycle

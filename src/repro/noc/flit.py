@@ -58,6 +58,7 @@ class Packet:
         "compressed",
         "is_compressed",
         "compressible",
+        "poisoned",
         "decompress_at_dst",
         "flit_bytes",
         "size_flits",
@@ -94,6 +95,10 @@ class Packet:
         self.compressed = compressed
         self.is_compressed = is_compressed
         self.compressible = compressible
+        #: Set by a compression-engine fault: the packet's engine output is
+        #: untrusted, so it travels on the uncompressed fallback path and
+        #: the DISCO arbitrator never reconsiders it (graceful degradation).
+        self.poisoned = False
         self.decompress_at_dst = decompress_at_dst
         self.priority = priority
         self.msg = msg

@@ -46,6 +46,9 @@ class NetworkInterface:
     def inject(self, packet: Packet) -> None:
         """Queue a packet for injection (applies the inject transform)."""
         now = self.network.cycle
+        faults = self.network.faults
+        if faults is not None and faults.drop_at_ni(now, self.node, packet):
+            return  # injected fault: the packet vanishes before queueing
         packet.injected_cycle = now
         extra = self.network.inject_transform(self.node, packet)
         self._queues[packet.ptype.vnet].append((now + extra, packet))

@@ -28,7 +28,7 @@ A ``router_factory`` lets the DISCO scheme replace the baseline router with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Packet
@@ -37,6 +37,10 @@ from repro.noc.router import InputVC, Router
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import Mesh
 from repro.sim import CallbackComponent, SimKernel
+from repro.sim.stats import DegradedStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.controller import FaultController
 
 RouterFactory = Callable[[int, NocConfig, "Network"], Router]
 DeliveryHandler = Callable[[int, Packet], None]
@@ -87,11 +91,16 @@ class ArrivalQueue:
         if not arrivals:
             return
         stats = self.network.stats
+        faults = self.network.faults
         for target_vc, packet, is_head, is_tail in arrivals:
             target_vc.accept_flit(packet, is_head)
             stats.buffer_writes += 1
             if is_head:
                 packet.hops_traversed += 1
+            if faults is not None:
+                # Link-traversal fault hook: payload corruption strikes a
+                # flit as it lands in the downstream buffer.
+                faults.on_link_flit(cycle, target_vc, packet, is_head)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ArrivalQueue({self.pending()} flits in flight)"
@@ -157,6 +166,13 @@ class Network:
         self.local_deliveries = LocalDeliveryQueue(self)
         self._eject_tokens: List[int] = [0] * self.mesh.n_nodes
         self._delivery_handler: Optional[DeliveryHandler] = None
+        #: Fault-injection controller (:mod:`repro.faults`); ``None`` keeps
+        #: every hook a cheap attribute test with zero behavioural impact.
+        self.faults: Optional["FaultController"] = None
+        #: Graceful-degradation counters — always registered as the
+        #: ``degraded`` stat group so snapshots are layout-stable whether
+        #: or not a fault plan is attached.
+        self.degraded = DegradedStats()
         # Scheme hooks (see module docstring).
         self.inject_transform: Callable[[int, Packet], int] = _default_inject
         self.eject_transform: Callable[[int, Packet], int] = _default_eject
@@ -176,6 +192,7 @@ class Network:
             kernel.register(ni, phase="net.nis")
         kernel.register(self.local_deliveries, phase="net.delivery")
         kernel.stats.register("network", self._network_counters)
+        kernel.stats.register("degraded", self.degraded.counters)
 
     def _frame_start(self, cycle: int) -> None:
         self.stats.cycles = cycle
@@ -183,6 +200,10 @@ class Network:
         tokens = self._eject_tokens
         for node in range(len(tokens)):
             tokens[node] = bandwidth
+        if self.faults is not None:
+            # Per-cycle fault hook: scheduled faults fire, random
+            # credit/wedge faults are sampled, stolen credits resync.
+            self.faults.on_cycle(cycle, self)
 
     def _network_counters(self) -> Dict[str, int]:
         """The NoC's contribution to the kernel's stats registry (legacy
@@ -221,6 +242,15 @@ class Network:
         """Register the endpoint callback for fully-delivered packets."""
         self._delivery_handler = handler
 
+    def attach_faults(self, controller: "FaultController") -> None:
+        """Wire a fault-injection controller into the explicit hook points
+        (injection, link arrivals, ejection, per-cycle sampling).  A
+        zero-fault plan is guaranteed inert: the hooks only observe."""
+        if self.faults is not None:
+            raise RuntimeError("a fault controller is already attached")
+        controller.bind(self)
+        self.faults = controller
+
     # -- packet movement -------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Inject a packet at its source node's NI."""
@@ -228,6 +258,10 @@ class Network:
             raise ValueError(f"bad source node {packet.src}")
         if not 0 <= packet.dst < self.mesh.n_nodes:
             raise ValueError(f"bad destination node {packet.dst}")
+        if self.faults is not None:
+            # Integrity hook: fingerprint the payload before the packet can
+            # be touched by the network (or by an injected fault).
+            self.faults.on_send(self.cycle, packet)
         if packet.src == packet.dst:
             # Local traffic never enters the mesh.  Both NI transforms still
             # apply (e.g. CNC compresses at injection and decompresses at
@@ -262,6 +296,11 @@ class Network:
             self.nis[node].complete_ejection(packet)
 
     def deliver(self, node: int, packet: Packet) -> None:
+        if self.faults is not None:
+            # Integrity hook: verify the payload survived compress →
+            # traverse → decompress byte-identically before the endpoint
+            # consumes it.
+            self.faults.on_deliver(self.cycle, node, packet)
         if self._delivery_handler is not None:
             self._delivery_handler(node, packet)
 
@@ -320,7 +359,18 @@ class Network:
                 f"{vc.packet.ptype.name}"
                 f"({vc.packet.src}->{vc.packet.dst},"
                 f" {vc.flits_sent}/{vc.packet.size_flits} sent,"
-                f" state={vc.state})"
+                f" state={vc.state}"
+                + (
+                    f", wedged_until={vc.wedged_until}"
+                    if vc.wedged_until > self.cycle
+                    else ""
+                )
+                + (
+                    f", credit_debt={vc.credit_debt}"
+                    if vc.credit_debt
+                    else ""
+                )
+                + ")"
                 for vc in busy
                 if vc.packet is not None
             )

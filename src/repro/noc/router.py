@@ -62,6 +62,8 @@ class InputVC:
         "out_vc",
         "engine_job",
         "wait_cycles",
+        "credit_debt",
+        "wedged_until",
     )
 
     def __init__(self, router: "Router", port: int, vc_index: int, depth: int):
@@ -80,12 +82,21 @@ class InputVC:
         self.out_vc: Optional["InputVC"] = None
         self.engine_job = None  # set by the DISCO engine
         self.wait_cycles = 0
+        #: Credits destroyed by an injected fault (repro.faults): the
+        #: sender-visible credit count shrinks until the resync restores
+        #: them, squeezing throughput without corrupting occupancy.
+        self.credit_debt = 0
+        #: Fault-injected wedge: the VC refuses to send while the network
+        #: cycle is below this bound (-1 = never wedged).
+        self.wedged_until = -1
 
     # -- credit view --------------------------------------------------------
     def free_slots(self) -> int:
         """Sender-visible credits (never negative; decompression overflow
         is absorbed by the engine's staging registers)."""
-        return max(0, self.depth - self.flits_present - self.incoming)
+        return max(
+            0, self.depth - self.flits_present - self.incoming - self.credit_debt
+        )
 
     def occupancy(self) -> int:
         """Buffered + in-flight flits (the congestion signal DISCO reads)."""
@@ -235,6 +246,8 @@ class Router:
     def _can_send(self, vc: InputVC) -> bool:
         packet = vc.packet
         assert packet is not None
+        if vc.wedged_until > self.network.cycle:
+            return False  # fault-injected wedge (repro.faults)
         if self.config.flow_control is FlowControl.STORE_AND_FORWARD:
             if vc.flits_received < packet.size_flits:
                 return False

@@ -19,9 +19,48 @@ runner's process pool and the on-disk result cache unchanged.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, Mapping, Tuple
 
 Provider = Callable[[], Dict[str, float]]
+
+
+@dataclass
+class DegradedStats:
+    """Graceful-degradation counters (the ``degraded`` stat group).
+
+    Populated by the fault layer (:mod:`repro.faults`) when a fault plan is
+    attached to a network; identically zero otherwise.  The group is always
+    registered, so attaching a *zero-fault* plan leaves every snapshot
+    bit-identical to a run without the faults layer.
+    """
+
+    #: Packets a compressor fault forced onto the uncompressed (or
+    #: NI-decompressed) fallback path instead of corrupting in flight.
+    degraded_transmissions: int = 0
+    #: Packets marked ``poisoned`` by an engine bit-flip fault.
+    poisoned_packets: int = 0
+    #: Engine jobs whose injected stall was absorbed by the shadow-packet
+    #: design (the packet stayed schedulable while the engine idled).
+    engine_stalls_absorbed: int = 0
+    #: Credits stolen by a fault and later restored by the resync timeout.
+    credit_resyncs: int = 0
+    #: Transient VC wedges that released before the drain watchdog fired.
+    wedge_recoveries: int = 0
+    #: Packets dropped at an NI by an injected fault (detected at drain by
+    #: the end-to-end integrity reconciliation).
+    packets_dropped: int = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Registry-provider view of the group."""
+        return {
+            "degraded_transmissions": self.degraded_transmissions,
+            "poisoned_packets": self.poisoned_packets,
+            "engine_stalls_absorbed": self.engine_stalls_absorbed,
+            "credit_resyncs": self.credit_resyncs,
+            "wedge_recoveries": self.wedge_recoveries,
+            "packets_dropped": self.packets_dropped,
+        }
 
 
 class CounterSnapshot(Mapping[str, Dict[str, float]]):

@@ -47,8 +47,17 @@ class TestNetworkFailures:
         network.send(Packet(PacketType.REQUEST, 0, 15))
         # Sabotage: revoke ejection bandwidth forever.
         network.can_eject = lambda node: False
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError) as excinfo:
             network.run_until_quiescent(max_cycles=2000)
+        # The exception alone must triage the wedge: which router, which
+        # VC, which packet, how far it got, and what's still on the wire.
+        message = str(excinfo.value)
+        assert "wedge snapshot" in message
+        assert "link flits in flight" in message
+        assert "router 15" in message  # the stuck packet's current hop
+        assert "REQUEST(0->15" in message  # the held packet and its route
+        assert "0/1 sent" in message  # per-VC send progress
+        assert "state=" in message  # pipeline stage of the stuck VC
 
     def test_watchdog_catches_stuck_simulation(self):
         config = SystemConfig.scaled_4x4()
@@ -56,8 +65,16 @@ class TestNetworkFailures:
         system = CmpSystem(config, make_scheme("baseline"), traces)
         # Sabotage: drop every packet instead of delivering it.
         system.network.set_delivery_handler(lambda n, p: None)
-        with pytest.raises(RuntimeError):
-            system.run(max_cycles=500_000)
+        with pytest.raises(RuntimeError) as excinfo:
+            system.run(max_cycles=500_000, stall_limit=20_000)
+        # The CMP watchdog attaches both views: per-router VC state from
+        # the network plus the protocol-level in-flight accounting.
+        message = str(excinfo.value)
+        assert "simulation wedged" in message
+        assert "wedge snapshot" in message
+        assert "cores unfinished" in message
+        assert "misses in flight" in message
+        assert "bank transactions pending" in message
 
 
 class TestBankDefenses:

@@ -8,17 +8,20 @@ exactly when it should.
 """
 
 import dataclasses
+import hashlib
 import os
 import pickle
 import subprocess
 import sys
 import time
+import warnings
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import runner
 from repro.experiments.runner import (
+    RunnerError,
     RunSpec,
     clear_cache,
     clear_disk_cache,
@@ -39,6 +42,9 @@ def _fresh_caches(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
     monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_RUNNER_FAULT", raising=False)
+    monkeypatch.delenv("REPRO_SPEC_TIMEOUT", raising=False)
+    monkeypatch.setattr(runner, "_JOBS_WARNED", False)
     clear_cache()
     yield
     clear_cache()
@@ -119,6 +125,48 @@ class TestDiskCache:
         again = run_spec(spec)
         assert dataclasses.asdict(again) == dataclasses.asdict(result)
 
+    def _corrupt_roundtrip(self, mutate):
+        """Shared scaffold: poison a valid entry with ``mutate(path)``,
+        then check the lookup recomputes cleanly and quarantines the bad
+        entry exactly once (one ``*.corrupt`` file, stable thereafter)."""
+        spec = RunSpec(scheme="baseline", **QUICK)
+        result = run_spec(spec)
+        path = runner._disk_path(spec)
+        mutate(path)
+        clear_cache()
+        again = run_spec(spec)
+        assert dataclasses.asdict(again) == dataclasses.asdict(result)
+        corrupt = list(runner.cache_dir().glob("*.corrupt"))
+        assert len(corrupt) == 1, corrupt
+        assert path.exists()  # a fresh, valid entry was republished
+        # The quarantined entry is never touched again: further lookups
+        # hit the fresh entry and do not mint more *.corrupt files.
+        clear_cache()
+        run_spec(spec)
+        assert list(runner.cache_dir().glob("*.corrupt")) == corrupt
+
+    def test_truncated_entry_quarantined_once(self):
+        self._corrupt_roundtrip(
+            lambda path: path.write_bytes(path.read_bytes()[:-7])
+        )
+
+    def test_wrong_version_entry_quarantined_once(self):
+        def downgrade(path):
+            blob = path.read_bytes()
+            path.write_bytes(b"RDC0" + blob[4:])  # stale envelope magic
+
+        self._corrupt_roundtrip(downgrade)
+
+    def test_unreadable_entry_quarantined_once(self):
+        def replace_with_directory(path):
+            # A directory at the entry path fails the read itself (not
+            # just validation) — and does so even when tests run as root,
+            # unlike a chmod-000 file.
+            path.unlink()
+            path.mkdir()
+
+        self._corrupt_roundtrip(replace_with_directory)
+
     def test_opt_out_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_DISK_CACHE", "0")
         spec = RunSpec(scheme="baseline", **QUICK)
@@ -134,7 +182,15 @@ class TestDiskCache:
     def test_entries_round_trip_through_pickle(self):
         spec = RunSpec(scheme="disco", **QUICK)
         result = run_spec(spec)
-        stored = pickle.loads(runner._disk_path(spec).read_bytes())
+        blob = runner._disk_path(spec).read_bytes()
+        # Envelope: 4-byte magic + 32-byte SHA-256 of the pickle payload.
+        assert blob.startswith(runner._CACHE_MAGIC)
+        payload = blob[runner._ENVELOPE_HEADER:]
+        assert (
+            blob[len(runner._CACHE_MAGIC):runner._ENVELOPE_HEADER]
+            == hashlib.sha256(payload).digest()
+        )
+        stored = pickle.loads(payload)
         assert dataclasses.asdict(stored) == dataclasses.asdict(result)
         # The structured snapshots survive too, not just scalar fields.
         assert stored.counters_measured == result.counters_measured
@@ -193,7 +249,17 @@ class TestParallel:
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert default_jobs() == 1
         monkeypatch.setenv("REPRO_JOBS", "junk")
-        assert default_jobs() == (os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning):
+            assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_default_jobs_warns_once_on_invalid_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='many'"):
+            assert default_jobs() == (os.cpu_count() or 1)
+        # One-time: the fallback stays, the nagging does not.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_jobs() == (os.cpu_count() or 1)
 
     @pytest.mark.skipif(
         os.environ.get("REPRO_PERF_TESTS") != "1",
@@ -214,6 +280,91 @@ class TestParallel:
         run_specs(specs, jobs=os.cpu_count())
         parallel = time.perf_counter() - start
         assert serial / parallel >= 2.0
+
+
+class TestFailureContainment:
+    """A misbehaving worker must not take the batch down with it.
+
+    These tests sabotage real pool workers through the
+    ``REPRO_RUNNER_FAULT`` hook in :func:`runner._simulate` — actual
+    crashed/killed/hung processes, not monkeypatched stand-ins.
+    """
+
+    SPECS = [
+        RunSpec(scheme="disco", workload=workload, accesses_per_core=40)
+        for workload in ("x264", "dedup", "canneal")
+    ]
+
+    def test_crashed_worker_keeps_survivors_and_names_the_spec(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:disco:dedup")
+        with pytest.raises(RunnerError) as excinfo:
+            run_specs(self.SPECS, jobs=3)
+        error = excinfo.value
+        assert [spec.workload for spec in error.failures] == ["dedup"]
+        assert set(error.completed) == {self.SPECS[0], self.SPECS[2]}
+        # The message names the failing spec — and only that one.
+        assert "dedup" in str(error)
+        assert "x264" not in str(error) and "canneal" not in str(error)
+        # Survivors were published: a fault-free rerun only recomputes
+        # the failed spec (the others hit the memo/disk caches).
+        monkeypatch.delenv("REPRO_RUNNER_FAULT")
+        calls = []
+        real = runner._simulate
+        monkeypatch.setattr(
+            runner,
+            "_simulate",
+            lambda s, verbose=False: calls.append(s) or real(s, verbose),
+        )
+        out = run_specs(self.SPECS, jobs=1)
+        assert len(out) == 3
+        assert calls == [self.SPECS[1]]
+
+    def test_transient_crash_retried_once_and_succeeds(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "fired"
+        monkeypatch.setenv(
+            "REPRO_RUNNER_FAULT", f"crash-once:disco:dedup:{marker}"
+        )
+        out = run_specs(self.SPECS, jobs=2)
+        assert len(out) == 3
+        assert marker.exists()  # the fault really fired (and was retried)
+
+    def test_dead_worker_falls_back_to_serial(self, monkeypatch):
+        # os._exit in a worker kills it without unwinding -> the pool
+        # breaks.  The fallback reruns in-process, where the exit mode
+        # never fires, so the whole batch still completes.
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "exit:disco:dedup")
+        out = run_specs(self.SPECS, jobs=3)
+        assert len(out) == 3
+        for spec in self.SPECS:
+            assert out[spec].cycles > 0
+
+    def test_hung_worker_times_out_and_retry_succeeds(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "hung"
+        monkeypatch.setenv(
+            "REPRO_RUNNER_FAULT", f"hang-once:disco:dedup:{marker}"
+        )
+        monkeypatch.setenv("REPRO_RUNNER_HANG_SECONDS", "3")
+        monkeypatch.setenv("REPRO_SPEC_TIMEOUT", "1.0")
+        start = time.perf_counter()
+        out = run_specs(self.SPECS, jobs=3)
+        assert len(out) == 3
+        assert marker.exists()
+        # The batch must not have waited out the full hang serially per
+        # spec; the hung future was abandoned after its timeout.
+        assert time.perf_counter() - start < 30
+
+    def test_serial_path_contains_failures_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:disco:dedup")
+        with pytest.raises(RunnerError) as excinfo:
+            run_specs(self.SPECS, jobs=1)
+        assert len(excinfo.value.completed) == 2
+        assert [s.workload for s in excinfo.value.failures] == ["dedup"]
 
 
 def test_cache_dir_override(tmp_path, monkeypatch):
