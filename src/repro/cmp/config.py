@@ -56,7 +56,7 @@ class SystemConfig:
             raise ValueError("need at least one memory controller")
         for node in self.mc_nodes:
             if not 0 <= node < self.noc.n_nodes:
-                raise ValueError(f"mc node {node} outside the mesh")
+                raise ValueError(f"mc node {node} outside the fabric")
         if self.core_window < 1:
             raise ValueError("core_window must be at least 1")
 
@@ -109,26 +109,36 @@ class SystemConfig:
         )
 
     @staticmethod
-    def scaled_mesh(width: int, height: int,
-                    l2_sets_per_bank: int = 32,
-                    l1_sets: int = 32) -> "SystemConfig":
-        """Scaled system with an arbitrary mesh (Fig. 8 scalability).
+    def scaled_fabric(noc: NocConfig,
+                      l2_sets_per_bank: int = 32,
+                      l1_sets: int = 32) -> "SystemConfig":
+        """Scaled system over an arbitrary fabric.
 
-        Memory channels scale with the tile count (one corner MC per 16
-        tiles, as in large tiled CMPs) so the off-chip interface does not
-        become the bottleneck that hides the on-chip effects under study.
+        Memory-controller placement comes from the topology's
+        ``corner_nodes()`` query (fabric edges on meshes, evenly spread on
+        edge-less topologies).  Memory channels scale with the tile count
+        (one corner MC per 16 tiles, as in large tiled CMPs) so the
+        off-chip interface does not become the bottleneck that hides the
+        on-chip effects under study.
         """
-        n_nodes = width * height
-        if n_nodes > 16:
-            corners = (
-                0, width - 1, n_nodes - width, n_nodes - 1
-            )
-            mc_nodes = tuple(sorted(set(corners)))
+        if noc.n_nodes > 16:
+            mc_nodes = noc.make_topology().corner_nodes()
         else:
             mc_nodes = (0,)
         return SystemConfig(
-            noc=NocConfig(width=width, height=height),
+            noc=noc,
             l2_sets_per_bank=l2_sets_per_bank,
             l1_sets=l1_sets,
             mc_nodes=mc_nodes,
+        )
+
+    @staticmethod
+    def scaled_mesh(width: int, height: int,
+                    l2_sets_per_bank: int = 32,
+                    l1_sets: int = 32) -> "SystemConfig":
+        """Scaled system with an arbitrary mesh (Fig. 8 scalability)."""
+        return SystemConfig.scaled_fabric(
+            NocConfig(width=width, height=height),
+            l2_sets_per_bank=l2_sets_per_bank,
+            l1_sets=l1_sets,
         )

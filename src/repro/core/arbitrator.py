@@ -29,7 +29,6 @@ from repro.core.engine import (
     JOB_DECOMPRESS,
     DiscoCompressorEngine,
 )
-from repro.noc.routing import xy_hops
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.noc.router import InputVC, Router
@@ -81,7 +80,7 @@ class DiscoArbitrator:
             return remote + self.config.gamma * local
         packet = vc.packet
         assert packet is not None
-        hops = xy_hops(self.router.mesh, self.router.node, packet.dst)
+        hops = self.router.topology.hop_distance(self.router.node, packet.dst)
         return remote + self.config.alpha * local - self.config.beta * hops
 
     def _threshold(self, mode: str) -> float:

@@ -116,7 +116,7 @@ class RunnerError(RuntimeError):
         self.completed = dict(completed)
         names = ", ".join(
             f"{spec.scheme}/{spec.algorithm}:{spec.workload}"
-            f"({spec.width}x{spec.height}, seed {spec.seed})"
+            f"({spec.topology} {spec.width}x{spec.height}, seed {spec.seed})"
             for spec in failures
         )
         first = next(iter(failures.values()))
@@ -143,10 +143,25 @@ class RunSpec:
     #: Working-set multiplier (for weak-scaling studies; Fig. 8 uses the
     #: paper's strong scaling — fixed workload and total cache).
     ws_scale: float = 1.0
+    #: Fabric shape ("mesh", "torus", "ring", "cmesh"); non-mesh fabrics
+    #: get the escape VCs their default routing needs.
+    topology: str = "mesh"
+
+    def noc_config(self) -> "NocConfig":
+        from repro.noc.config import NocConfig
+        from repro.noc.routing import resolve_routing
+
+        vcs = 2 if resolve_routing(self.topology).needs_escape_vcs else 1
+        return NocConfig(
+            width=self.width,
+            height=self.height,
+            topology=self.topology,
+            vcs_per_vnet=vcs,
+        )
 
     def config(self) -> SystemConfig:
-        base = SystemConfig.scaled_mesh(
-            self.width, self.height, l2_sets_per_bank=self.l2_sets_per_bank
+        base = SystemConfig.scaled_fabric(
+            self.noc_config(), l2_sets_per_bank=self.l2_sets_per_bank
         )
         if self.l2_hit_latency != base.l2_hit_latency:
             base = _dc_replace(base, l2_hit_latency=self.l2_hit_latency)

@@ -49,11 +49,26 @@ class CampaignSpec:
     #: Cycles the post-injection drain may take before the wedge watchdog
     #: declares the network stuck (small so permanent wedges fail fast).
     drain_limit: int = 20_000
+    #: Fabric shape ("mesh", "torus", "ring", "cmesh"); non-mesh fabrics
+    #: get the escape VCs their default routing needs.
+    topology: str = "mesh"
+
+    def noc_config(self) -> NocConfig:
+        """The fabric configuration this campaign runs on."""
+        from repro.noc.routing import resolve_routing
+
+        vcs = 2 if resolve_routing(self.topology).needs_escape_vcs else 1
+        return NocConfig(
+            width=self.width,
+            height=self.height,
+            topology=self.topology,
+            vcs_per_vnet=vcs,
+        )
 
     def describe(self) -> str:
         return (
-            f"{self.width}x{self.height} disco mesh, {self.pattern} "
-            f"traffic @ {self.injection_rate}/node/cycle for "
+            f"{self.width}x{self.height} disco {self.topology}, "
+            f"{self.pattern} traffic @ {self.injection_rate}/node/cycle for "
             f"{self.cycles} cycles, traffic seed {self.traffic_seed}"
         )
 
@@ -110,11 +125,11 @@ class CampaignReport:
 
 
 def build_campaign_network(spec: CampaignSpec) -> Network:
-    """A DISCO mesh wired exactly like the integration tests use it:
+    """A DISCO fabric wired exactly like the integration tests use it:
     DISCO routers, §3.3-B priority scheduling, and NI residual
     decompression for compressed packets that reach their endpoint."""
     network = Network(
-        NocConfig(width=spec.width, height=spec.height),
+        spec.noc_config(),
         router_factory=make_disco_router_factory(DiscoConfig()),
     )
     network.packet_priority = disco_priority

@@ -35,7 +35,7 @@ Every injected fault is recorded as a :class:`FaultEvent`; after the run
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.faults.integrity import (

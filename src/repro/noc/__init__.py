@@ -1,22 +1,44 @@
 """Cycle-level Network-on-Chip substrate (the BookSim substitution).
 
-A 2-D mesh of 3-stage virtual-channel routers with credit-based wormhole
+A fabric of 3-stage virtual-channel routers with credit-based wormhole
 flow control (virtual cut-through and store-and-forward are also supported,
-§3.3-A of the paper).  Packets carry real cache-line payloads so in-network
-compression operates on actual bytes.
+§3.3-A of the paper).  The fabric shape is pluggable — mesh (the Table 2
+default), torus, ring, concentrated mesh — each paired with a
+deterministic deadlock-free routing algorithm from the registry.  Packets
+carry real cache-line payloads so in-network compression operates on
+actual bytes.
 
 Main entry points:
 
-- :class:`repro.noc.network.Network` — builds the mesh, owns the cycle loop;
+- :class:`repro.noc.network.Network` — builds the fabric, owns the cycle loop;
 - :class:`repro.noc.flit.Packet` — the unit of transfer;
 - :class:`repro.noc.config.NocConfig` — structural parameters (Table 2);
+- :mod:`repro.noc.topology` — the Topology protocol and implementations;
+- :mod:`repro.noc.routing` — the routing registry;
 - :mod:`repro.noc.traffic` — synthetic traffic drivers for NoC-only studies.
 """
 
 from repro.noc.config import NocConfig, FlowControl
 from repro.noc.flit import Packet, PacketType, VNET_REQUEST, VNET_RESPONSE
-from repro.noc.topology import Mesh, PORT_LOCAL, PORT_NAMES
-from repro.noc.routing import xy_route, xy_hops
+from repro.noc.topology import (
+    ConcentratedMesh2D,
+    Mesh,
+    Mesh2D,
+    PORT_LOCAL,
+    PORT_NAMES,
+    Ring,
+    Topology,
+    Torus2D,
+    build_topology,
+)
+from repro.noc.routing import (
+    DEFAULT_ROUTING,
+    ROUTING_REGISTRY,
+    RoutingAlgorithm,
+    resolve_routing,
+    xy_hops,
+    xy_route,
+)
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
 
@@ -27,9 +49,19 @@ __all__ = [
     "PacketType",
     "VNET_REQUEST",
     "VNET_RESPONSE",
+    "Topology",
     "Mesh",
+    "Mesh2D",
+    "Torus2D",
+    "Ring",
+    "ConcentratedMesh2D",
+    "build_topology",
     "PORT_LOCAL",
     "PORT_NAMES",
+    "RoutingAlgorithm",
+    "ROUTING_REGISTRY",
+    "DEFAULT_ROUTING",
+    "resolve_routing",
     "xy_route",
     "xy_hops",
     "Network",

@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.noc.topology import TOPOLOGY_NAMES, Topology, build_topology, fabric_n_nodes
+
 
 class FlowControl(enum.Enum):
     """Flow-control policies discussed in §3.3-A.
@@ -23,11 +25,17 @@ class FlowControl(enum.Enum):
 
 @dataclass(frozen=True)
 class NocConfig:
-    """Mesh/router structural configuration.
+    """Fabric/router structural configuration.
 
     Defaults reproduce the paper's Table 2: 4x4 mesh, XY routing, 3
     pipeline stages, wormhole flow control, 8-flit buffers, 2 virtual
     channels, 64-bit flits.
+
+    ``topology`` selects the fabric shape ("mesh", "torus", "ring",
+    "cmesh"); ``routing`` selects a registered algorithm ("" picks the
+    topology's deadlock-free default).  ``width``/``height`` shape the
+    grid fabrics; the ring reuses ``width * height`` as its node count
+    and the cmesh multiplies it by ``concentration``.
     """
 
     width: int = 4
@@ -39,10 +47,14 @@ class NocConfig:
     flow_control: FlowControl = FlowControl.WORMHOLE
     link_latency: int = 1
     ejection_bandwidth: int = 1  # flits per cycle per node
+    topology: str = "mesh"
+    routing: str = ""  # "" -> the topology's default algorithm
+    concentration: int = 4  # terminals per hub (cmesh only)
+    max_line_bytes: int = 64  # largest cache line the fabric carries
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
-            raise ValueError("mesh dimensions must be positive")
+            raise ValueError("fabric dimensions must be positive")
         if self.vnets < 1 or self.vcs_per_vnet < 1:
             raise ValueError("need at least one VC per vnet")
         if self.vc_depth < 1:
@@ -53,16 +65,80 @@ class NocConfig:
             raise ValueError("link_latency must be at least 1 cycle")
         if self.ejection_bandwidth < 1:
             raise ValueError("ejection_bandwidth must be at least 1")
+        if self.concentration < 1:
+            raise ValueError("concentration must be at least 1")
+        if self.max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be positive")
+        if self.topology not in TOPOLOGY_NAMES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; "
+                f"choose from {TOPOLOGY_NAMES}"
+            )
+        if self.topology == "torus" and (self.width < 2 or self.height < 2):
+            raise ValueError("torus dimensions must be at least 2")
+        if self.topology == "ring" and self.width * self.height < 2:
+            raise ValueError("ring needs at least 2 nodes")
+        # Resolving eagerly rejects unknown names and topology/routing
+        # mismatches at construction time (import here to avoid a cycle).
+        from repro.noc.routing import resolve_routing
+
+        algorithm = resolve_routing(self.topology, self.routing)
+        if algorithm.needs_escape_vcs and self.vcs_per_vnet < 2:
+            raise ValueError(
+                f"routing {algorithm.name!r} uses dateline escape VCs and "
+                f"needs vcs_per_vnet >= 2 (got {self.vcs_per_vnet})"
+            )
+        if self.flow_control is not FlowControl.WORMHOLE:
+            if self.vc_depth < self.max_packet_flits:
+                raise ValueError(
+                    f"{self.flow_control.value} keeps whole packets per "
+                    f"node: vc_depth ({self.vc_depth}) must be >= the max "
+                    f"packet length ({self.max_packet_flits} flits for "
+                    f"{self.max_line_bytes}-byte lines)"
+                )
 
     @property
     def n_nodes(self) -> int:
-        return self.width * self.height
+        return fabric_n_nodes(
+            self.topology, self.width, self.height, self.concentration
+        )
 
     @property
     def vcs_per_port(self) -> int:
         return self.vnets * self.vcs_per_vnet
 
+    @property
+    def max_packet_flits(self) -> int:
+        """Longest packet the fabric carries: head flit + data flits for a
+        full ``max_line_bytes`` line (see :class:`repro.noc.flit.Packet`)."""
+        data_flits = -(-self.max_line_bytes // self.flit_bytes)
+        return 1 + data_flits
+
     def vnet_vcs(self, vnet: int):
         """The VC indices belonging to a virtual network."""
         start = vnet * self.vcs_per_vnet
         return range(start, start + self.vcs_per_vnet)
+
+    def escape_class_vcs(self, vnet: int, vc_class: int):
+        """The VC indices of a dateline class within a vnet.
+
+        Class 0 owns the first half of the vnet's VCs, class 1 the second
+        half (``vcs_per_vnet >= 2`` is validated for dateline routings).
+        """
+        start = vnet * self.vcs_per_vnet
+        half = self.vcs_per_vnet // 2
+        if vc_class == 0:
+            return range(start, start + half)
+        return range(start + half, start + self.vcs_per_vnet)
+
+    def make_topology(self) -> Topology:
+        """Build the configured topology object."""
+        return build_topology(
+            self.topology, self.width, self.height, self.concentration
+        )
+
+    def make_routing(self):
+        """Resolve the configured routing algorithm."""
+        from repro.noc.routing import resolve_routing
+
+        return resolve_routing(self.topology, self.routing)

@@ -1,4 +1,8 @@
-"""The mesh network: routers + NIs, assembled on the simulation kernel.
+"""The fabric network: routers + NIs, assembled on the simulation kernel.
+
+The fabric shape comes from ``NocConfig.topology`` (mesh by default); the
+network builds the topology object once, resolves the paired routing
+algorithm from the registry, and hands both to its routers.
 
 The network no longer hand-walks its routers each cycle — it registers
 components on a :class:`repro.sim.SimKernel` in five ordered phases:
@@ -35,7 +39,6 @@ from repro.noc.flit import Packet
 from repro.noc.interface import NetworkInterface
 from repro.noc.router import InputVC, Router
 from repro.noc.stats import NetworkStats
-from repro.noc.topology import Mesh
 from repro.sim import CallbackComponent, SimKernel
 from repro.sim.stats import DegradedStats
 
@@ -143,7 +146,7 @@ class LocalDeliveryQueue:
 
 
 class Network:
-    """A cycle-level mesh NoC instance."""
+    """A cycle-level NoC instance over a pluggable topology."""
 
     def __init__(
         self,
@@ -152,19 +155,22 @@ class Network:
         kernel: Optional[SimKernel] = None,
     ):
         self.config = config
-        self.mesh = Mesh(config.width, config.height)
+        self.topology = config.make_topology()
+        self.mesh = self.topology  # legacy alias (pre-fabric callers)
+        self.routing = config.make_routing()
+        self._route_fn = self.routing.fn
         self.stats = NetworkStats()
         self.kernel = kernel if kernel is not None else SimKernel()
         factory = router_factory or Router
         self.routers: List[Router] = [
-            factory(node, config, self) for node in range(self.mesh.n_nodes)
+            factory(node, config, self) for node in range(self.topology.n_nodes)
         ]
         self.nis: List[NetworkInterface] = [
-            NetworkInterface(node, self) for node in range(self.mesh.n_nodes)
+            NetworkInterface(node, self) for node in range(self.topology.n_nodes)
         ]
         self.arrival_queue = ArrivalQueue(self)
         self.local_deliveries = LocalDeliveryQueue(self)
-        self._eject_tokens: List[int] = [0] * self.mesh.n_nodes
+        self._eject_tokens: List[int] = [0] * self.topology.n_nodes
         self._delivery_handler: Optional[DeliveryHandler] = None
         #: Fault-injection controller (:mod:`repro.faults`); ``None`` keeps
         #: every hook a cheap attribute test with zero behavioural impact.
@@ -252,11 +258,16 @@ class Network:
         self.faults = controller
 
     # -- packet movement -------------------------------------------------------
+    def route(self, node: int, dst: int):
+        """Route decision ``(out_port, vc_class)`` at ``node`` toward ``dst``
+        under the configured algorithm."""
+        return self._route_fn(self.topology, node, dst)
+
     def send(self, packet: Packet) -> None:
         """Inject a packet at its source node's NI."""
-        if not 0 <= packet.src < self.mesh.n_nodes:
+        if not 0 <= packet.src < self.topology.n_nodes:
             raise ValueError(f"bad source node {packet.src}")
-        if not 0 <= packet.dst < self.mesh.n_nodes:
+        if not 0 <= packet.dst < self.topology.n_nodes:
             raise ValueError(f"bad destination node {packet.dst}")
         if self.faults is not None:
             # Integrity hook: fingerprint the payload before the packet can
@@ -355,7 +366,7 @@ class Network:
             buffered = sum(vc.flits_present for vc in busy)
             incoming = sum(vc.incoming for vc in busy)
             held = ", ".join(
-                f"port{vc.port}/vc{vc.vc_index}:"
+                f"{self.topology.port_name(vc.port)}/vc{vc.vc_index}:"
                 f"{vc.packet.ptype.name}"
                 f"({vc.packet.src}->{vc.packet.dst},"
                 f" {vc.flits_sent}/{vc.packet.size_flits} sent,"

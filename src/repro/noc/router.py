@@ -24,8 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.noc.config import FlowControl, NocConfig
 from repro.noc.flit import Packet
-from repro.noc.routing import xy_route
-from repro.noc.topology import N_PORTS, OPPOSITE, PORT_LOCAL
+from repro.noc.topology import PORT_LOCAL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.noc.network import Network
@@ -59,6 +58,7 @@ class InputVC:
         "incoming",
         "reserved",
         "out_port",
+        "out_vc_class",
         "out_vc",
         "engine_job",
         "wait_cycles",
@@ -79,6 +79,9 @@ class InputVC:
         self.incoming = 0
         self.reserved = False
         self.out_port = -1
+        #: Dateline escape-VC class picked at route computation (None when
+        #: the routing algorithm is deadlock-free on any VC).
+        self.out_vc_class: Optional[int] = None
         self.out_vc: Optional["InputVC"] = None
         self.engine_job = None  # set by the DISCO engine
         self.wait_cycles = 0
@@ -133,6 +136,7 @@ class InputVC:
         self.flits_received = 0
         self.flits_sent = 0
         self.out_port = -1
+        self.out_vc_class = None
         self.out_vc = None
         self.engine_job = None
         self.wait_cycles = 0
@@ -145,25 +149,37 @@ class InputVC:
 
 
 class Router:
-    """A single mesh router; see module docstring for the pipeline model."""
+    """A single fabric router; see module docstring for the pipeline model.
+
+    The port layout is driven by the topology's per-node radix (5 on the
+    Table 2 mesh, 3 on a ring, 2 on a cmesh leaf, ...); port 0 is always
+    the local injection/ejection port.
+    """
 
     def __init__(self, node: int, config: NocConfig, network: "Network"):
         self.node = node
         self.config = config
         self.network = network
-        self.mesh = network.mesh
+        self.topology = network.topology
+        self.mesh = network.topology  # legacy alias (pre-fabric callers)
+        self.radix = self.topology.radix(node)
         self.inputs: List[List[InputVC]] = [
             [
                 InputVC(self, port, vc, config.vc_depth)
                 for vc in range(config.vcs_per_port)
             ]
-            for port in range(N_PORTS)
+            for port in range(self.radix)
         ]
         #: Flattened VC list — the per-cycle scans iterate this once.
         self.all_vcs: List[InputVC] = [
             vc for port_vcs in self.inputs for vc in port_vcs
         ]
-        self._sa_rr: List[int] = [0] * N_PORTS  # round-robin per output port
+        self._sa_rr: List[int] = [0] * self.radix  # round-robin per output port
+        # Round-robin key space: (port, vc) -> port * stride + vc.  The
+        # floors of 8 keep the Table 2 mesh arithmetic (stride 8, span 64)
+        # bit-identical to the fixed-radix implementation.
+        self._rr_stride = max(8, config.vcs_per_port)
+        self._rr_span = self._rr_stride * max(8, self.radix)
 
     # -- queries used by DISCO and flow control ------------------------------
     def input_port_occupancy(self, port: int) -> int:
@@ -174,11 +190,11 @@ class Router:
         """Occupancy of the input port this output port feeds (credit_in)."""
         if out_port == PORT_LOCAL:
             return 0
-        neighbor = self.mesh.neighbor[self.node][out_port]
+        neighbor = self.topology.neighbor[self.node].get(out_port)
         if neighbor is None:
             return 0
         return self.network.routers[neighbor].input_port_occupancy(
-            OPPOSITE[out_port]
+            self.topology.neighbor_port(self.node, out_port)
         )
 
     def local_contention(self, out_port: int, exclude: InputVC) -> int:
@@ -262,8 +278,9 @@ class Router:
         best_priority = max(self._priority(vc) for vc in candidates)
         top = [vc for vc in candidates if self._priority(vc) == best_priority]
         pointer = self._sa_rr[out_port]
-        top.sort(key=lambda vc: ((vc.port * 8 + vc.vc_index) - pointer) % 64)
-        self._sa_rr[out_port] = (top[0].port * 8 + top[0].vc_index + 1) % 64
+        stride, span = self._rr_stride, self._rr_span
+        top.sort(key=lambda vc: ((vc.port * stride + vc.vc_index) - pointer) % span)
+        self._sa_rr[out_port] = (top[0].port * stride + top[0].vc_index + 1) % span
         return top[0]
 
     def _priority(self, vc: InputVC) -> int:
@@ -324,9 +341,9 @@ class Router:
     def _allocate_downstream_vc(
         self, vc: InputVC, packet: Packet
     ) -> Optional[InputVC]:
-        neighbor = self.mesh.neighbor[self.node][vc.out_port]
-        assert neighbor is not None, "XY routing never exits the mesh"
-        in_port = OPPOSITE[vc.out_port]
+        neighbor = self.topology.neighbor[self.node].get(vc.out_port)
+        assert neighbor is not None, "deterministic routing never exits the fabric"
+        in_port = self.topology.neighbor_port(self.node, vc.out_port)
         whole_packet = self.config.flow_control in (
             FlowControl.VIRTUAL_CUT_THROUGH,
             FlowControl.STORE_AND_FORWARD,
@@ -336,11 +353,17 @@ class Router:
                 f"{self.config.flow_control.value} needs vc_depth >= packet "
                 f"size ({packet.size_flits} flits > {self.config.vc_depth})"
             )
+        if vc.out_vc_class is None:
+            allowed = self.config.vnet_vcs(packet.ptype.vnet)
+        else:
+            # Dateline routing: restrict allocation to the escape class
+            # chosen at route computation.
+            allowed = self.config.escape_class_vcs(
+                packet.ptype.vnet, vc.out_vc_class
+            )
         router = self.network.routers[neighbor]
         for candidate in router.inputs[in_port]:
-            if candidate.vc_index not in self.config.vnet_vcs(
-                packet.ptype.vnet
-            ):
+            if candidate.vc_index not in allowed:
                 continue
             if not candidate.is_free():
                 continue
@@ -356,7 +379,9 @@ class Router:
                 continue
             packet = vc.packet
             assert packet is not None
-            vc.out_port = xy_route(self.mesh, self.node, packet.dst)
+            vc.out_port, vc.out_vc_class = self.network.route(
+                self.node, packet.dst
+            )
             vc.state = VC_VA
 
     # -- DISCO hook points ----------------------------------------------------

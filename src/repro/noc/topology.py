@@ -1,10 +1,34 @@
-"""2-D mesh topology and port numbering."""
+"""Pluggable fabric topologies and the port-numbering contract.
+
+A :class:`Topology` describes the fabric shape the rest of the NoC is
+built from: node count, per-node radix, adjacency (which output port of
+which node feeds which input port of which neighbour), deterministic hop
+distance, and the placement queries the CMP layer needs (corner nodes for
+memory controllers, the transpose permutation for synthetic traffic).
+
+The port-numbering contract every topology obeys:
+
+- port ``0`` (:data:`PORT_LOCAL`) is always the local injection/ejection
+  port — routers, NIs and the ejection path rely on it;
+- ports ``1 .. radix(node)-1`` are link ports; ``neighbor[node][port]``
+  names the node that output port feeds (``None`` for an unconnected
+  port, e.g. a mesh edge), and :meth:`Topology.neighbor_port` names the
+  input port it lands on.
+
+Topologies are paired with a deterministic deadlock-free route function
+by the registry in :mod:`repro.noc.routing`.
+
+The module-level ``PORT_*`` constants describe the 2-D mesh/torus port
+space (the paper's Table 2 fabric) and are kept for the mesh-specific
+tests; code outside this module should address ports through the
+topology object instead.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-#: Router port indices.
+#: Router port indices (2-D mesh/torus port space).
 PORT_LOCAL = 0
 PORT_EAST = 1
 PORT_WEST = 2
@@ -19,7 +43,8 @@ PORT_NAMES = {
     PORT_SOUTH: "south",
 }
 
-#: The port on the neighbouring router that a given output port feeds.
+#: The port on the neighbouring router that a given output port feeds
+#: (mesh/torus port space).
 OPPOSITE = {
     PORT_EAST: PORT_WEST,
     PORT_WEST: PORT_EAST,
@@ -27,20 +52,134 @@ OPPOSITE = {
     PORT_SOUTH: PORT_NORTH,
 }
 
+#: Radix of a 2-D mesh/torus router (local + 4 directions).
 N_PORTS = 5
 
+#: Ring port space: one clockwise (+1) and one counter-clockwise (-1) link.
+RING_CW = 1
+RING_CCW = 2
 
-class Mesh:
-    """A ``width x height`` mesh; node ids are row-major."""
+
+class Topology:
+    """Base class: adjacency + distance queries over a fixed node set.
+
+    Subclasses fill ``neighbor`` (one ``{port: node | None}`` dict per
+    node, link ports only) and implement :meth:`radix`,
+    :meth:`neighbor_port` and :meth:`hop_distance`.
+    """
+
+    name = "abstract"
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("topology needs at least one node")
+        self.n_nodes = n_nodes
+        #: ``neighbor[node][port]`` -> neighbouring node id or ``None``.
+        self.neighbor: List[Dict[int, Optional[int]]] = []
+
+    # -- adjacency ----------------------------------------------------------
+    def radix(self, node: int) -> int:
+        """Port count of one router, local port included."""
+        raise NotImplementedError
+
+    def neighbor_port(self, node: int, port: int) -> int:
+        """The input port on ``neighbor[node][port]`` that the link feeds."""
+        raise NotImplementedError
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Hops along the topology's deterministic minimal route."""
+        raise NotImplementedError
+
+    def links(self) -> List[Tuple[int, int]]:
+        """All directed links (src node, dst node)."""
+        out = []
+        for node in range(self.n_nodes):
+            for port, nbr in self.neighbor[node].items():
+                if nbr is not None:
+                    out.append((node, nbr))
+        return out
+
+    def port_name(self, port: int) -> str:
+        """Human-readable port label (wedge snapshots, debug)."""
+        return "local" if port == PORT_LOCAL else f"link{port}"
+
+    # -- placement queries (CMP layer) --------------------------------------
+    def corner_nodes(self) -> Tuple[int, ...]:
+        """Nodes suited to memory-controller placement (fabric edges for
+        meshes; evenly spread for edge-less topologies)."""
+        n = self.n_nodes
+        spread = {0, n // 4, n // 2, (3 * n) // 4}
+        return tuple(sorted(node % n for node in spread))
+
+    def transpose_of(self, node: int) -> int:
+        """Destination of ``node`` under the transpose traffic permutation
+        (coordinate swap where coordinates exist, index reversal else)."""
+        return self.n_nodes - 1 - node
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.n_nodes} nodes>"
+
+
+class _Grid2D(Topology):
+    """Shared coordinate plumbing for width x height fabrics
+    (row-major node ids; x grows east, y grows south)."""
 
     def __init__(self, width: int, height: int):
         if width < 1 or height < 1:
-            raise ValueError("mesh dimensions must be positive")
+            raise ValueError(f"{self.name} dimensions must be positive")
+        super().__init__(width * height)
         self.width = width
         self.height = height
-        self.n_nodes = width * height
-        # neighbor[node][port] -> neighbouring node id or None.
-        self.neighbor: List[Dict[int, Optional[int]]] = []
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """Node id -> (x, y); x grows east, y grows south."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> Optional[int]:
+        """(x, y) -> node id, or None outside the grid."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            return y * self.width + x
+        return None
+
+    def radix(self, node: int) -> int:
+        return N_PORTS
+
+    def neighbor_port(self, node: int, port: int) -> int:
+        return OPPOSITE[port]
+
+    def port_name(self, port: int) -> str:
+        return PORT_NAMES.get(port, f"link{port}")
+
+    def corner_nodes(self) -> Tuple[int, ...]:
+        n, w = self.n_nodes, self.width
+        return tuple(sorted({0, w - 1, n - w, n - 1}))
+
+    def transpose_of(self, node: int) -> int:
+        if self.width != self.height:
+            return super().transpose_of(node)
+        x, y = self.coords(node)
+        transposed = self.node_at(y, x)
+        assert transposed is not None
+        return transposed
+
+
+class Mesh2D(_Grid2D):
+    """A ``width x height`` mesh (the paper's Table 2 fabric).
+
+    Every router keeps the full 5-port layout; edge ports simply have no
+    neighbour (``None``), which preserves the seed implementation's port
+    numbering bit for bit.
+    """
+
+    name = "mesh"
+
+    def __init__(self, width: int, height: int):
+        super().__init__(width, height)
         for node in range(self.n_nodes):
             x, y = self.coords(node)
             self.neighbor.append(
@@ -52,23 +191,217 @@ class Mesh:
                 }
             )
 
-    def coords(self, node: int) -> Tuple[int, int]:
-        """Node id -> (x, y); x grows east, y grows south."""
-        if not 0 <= node < self.n_nodes:
-            raise ValueError(f"node {node} out of range")
-        return node % self.width, node // self.width
+    def hop_distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
 
-    def node_at(self, x: int, y: int) -> Optional[int]:
-        """(x, y) -> node id, or None outside the mesh."""
-        if 0 <= x < self.width and 0 <= y < self.height:
-            return y * self.width + x
-        return None
 
-    def links(self) -> List[Tuple[int, int]]:
-        """All directed links (src node, dst node)."""
-        out = []
+#: Backward-compatible alias for the seed's mesh class.
+Mesh = Mesh2D
+
+
+class Torus2D(_Grid2D):
+    """A ``width x height`` torus: the mesh plus wrap-around links.
+
+    Both dimensions must be at least 2 so no wrap link is a self-loop.
+    Deadlock freedom over the wrap links needs the dateline (escape-VC)
+    routing from :mod:`repro.noc.routing`, not plain XY.
+    """
+
+    name = "torus"
+
+    def __init__(self, width: int, height: int):
+        if width < 2 or height < 2:
+            raise ValueError("torus dimensions must be at least 2")
+        super().__init__(width, height)
         for node in range(self.n_nodes):
-            for port, nbr in self.neighbor[node].items():
-                if nbr is not None:
-                    out.append((node, nbr))
-        return out
+            x, y = self.coords(node)
+            self.neighbor.append(
+                {
+                    PORT_EAST: self.node_at((x + 1) % width, y),
+                    PORT_WEST: self.node_at((x - 1) % width, y),
+                    PORT_NORTH: self.node_at(x, (y - 1) % height),
+                    PORT_SOUTH: self.node_at(x, (y + 1) % height),
+                }
+            )
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        ax, ay = abs(sx - dx), abs(sy - dy)
+        return min(ax, self.width - ax) + min(ay, self.height - ay)
+
+
+class Ring(Topology):
+    """A bidirectional ring of ``n_nodes`` routers (radix 3).
+
+    Port :data:`RING_CW` faces node ``i+1``, :data:`RING_CCW` faces
+    ``i-1``; each direction is its own unidirectional ring, so deadlock
+    avoidance only needs a dateline per direction (see
+    :mod:`repro.noc.routing`).
+    """
+
+    name = "ring"
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 2:
+            raise ValueError("ring needs at least 2 nodes")
+        super().__init__(n_nodes)
+        for node in range(n_nodes):
+            self.neighbor.append(
+                {
+                    RING_CW: (node + 1) % n_nodes,
+                    RING_CCW: (node - 1) % n_nodes,
+                }
+            )
+
+    def radix(self, node: int) -> int:
+        return 3
+
+    def neighbor_port(self, node: int, port: int) -> int:
+        # The CW output of node i lands on the CCW-facing side of i+1.
+        return RING_CCW if port == RING_CW else RING_CW
+
+    def port_name(self, port: int) -> str:
+        return {PORT_LOCAL: "local", RING_CW: "cw", RING_CCW: "ccw"}.get(
+            port, f"link{port}"
+        )
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self._check_node(src)
+        self._check_node(dst)
+        d = abs(src - dst)
+        return min(d, self.n_nodes - d)
+
+
+class ConcentratedMesh2D(Topology):
+    """A concentrated mesh: ``width x height`` hub routers, each serving a
+    cluster of ``concentration`` terminals.
+
+    Node ids: terminal ``node`` belongs to cluster ``node // c``; local
+    index ``node % c == 0`` is the cluster hub (a full mesh router plus
+    ``c - 1`` star links), the rest are radix-2 leaf routers whose only
+    link port (``1``) is the uplink to their hub.  Routing descends the
+    star, XY-routes over the hub mesh, then ascends — acyclic (tree +
+    dimension order), so no escape VCs are needed.
+    """
+
+    name = "cmesh"
+
+    def __init__(self, width: int, height: int, concentration: int = 4):
+        if width < 1 or height < 1:
+            raise ValueError("cmesh dimensions must be positive")
+        if concentration < 1:
+            raise ValueError("cmesh concentration must be at least 1")
+        super().__init__(width * height * concentration)
+        self.width = width
+        self.height = height
+        self.concentration = concentration
+        self._hub_mesh = Mesh2D(width, height)
+        c = concentration
+        for node in range(self.n_nodes):
+            cluster, local = divmod(node, c)
+            if local == 0:  # hub: mesh ports + star ports
+                ports: Dict[int, Optional[int]] = {}
+                for port, nbr in self._hub_mesh.neighbor[cluster].items():
+                    ports[port] = None if nbr is None else nbr * c
+                for leaf in range(1, c):
+                    ports[N_PORTS + leaf - 1] = cluster * c + leaf
+                self.neighbor.append(ports)
+            else:  # leaf: uplink only
+                self.neighbor.append({1: cluster * c})
+
+    # -- structure ----------------------------------------------------------
+    def is_hub(self, node: int) -> bool:
+        self._check_node(node)
+        return node % self.concentration == 0
+
+    def hub_of(self, node: int) -> int:
+        self._check_node(node)
+        return (node // self.concentration) * self.concentration
+
+    def star_port(self, leaf: int) -> int:
+        """The hub output port that faces ``leaf``."""
+        local = leaf % self.concentration
+        if local == 0:
+            raise ValueError(f"node {leaf} is a hub, not a leaf")
+        return N_PORTS + local - 1
+
+    def radix(self, node: int) -> int:
+        if self.is_hub(node):
+            return N_PORTS + self.concentration - 1
+        return 2
+
+    def neighbor_port(self, node: int, port: int) -> int:
+        if self.is_hub(node):
+            if port in OPPOSITE:
+                return OPPOSITE[port]
+            return 1  # star link lands on the leaf's uplink port
+        return self.star_port(node)  # leaf uplink lands on the hub's star port
+
+    def port_name(self, port: int) -> str:
+        if port in PORT_NAMES:
+            return PORT_NAMES[port]
+        if port >= N_PORTS:
+            return f"star{port - N_PORTS + 1}"
+        return f"link{port}"
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return 0
+        hops = self._hub_mesh.hop_distance(
+            src // self.concentration, dst // self.concentration
+        )
+        if not self.is_hub(src):
+            hops += 1
+        if not self.is_hub(dst):
+            hops += 1
+        return hops
+
+    def corner_nodes(self) -> Tuple[int, ...]:
+        return tuple(
+            cluster * self.concentration
+            for cluster in self._hub_mesh.corner_nodes()
+        )
+
+
+#: Topology name -> constructor arguments drawn from a NocConfig.
+TOPOLOGY_NAMES = ("mesh", "torus", "ring", "cmesh")
+
+
+def build_topology(
+    name: str, width: int, height: int, concentration: int = 4
+) -> Topology:
+    """Instantiate a topology from ``NocConfig``-style parameters.
+
+    ``width``/``height`` shape the grid fabrics; the ring lays the same
+    ``width * height`` node count out on a cycle; the cmesh multiplies
+    the grid by ``concentration`` terminals per hub.
+    """
+    if name == "mesh":
+        return Mesh2D(width, height)
+    if name == "torus":
+        return Torus2D(width, height)
+    if name == "ring":
+        return Ring(width * height)
+    if name == "cmesh":
+        return ConcentratedMesh2D(width, height, concentration)
+    raise ValueError(
+        f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}"
+    )
+
+
+def fabric_n_nodes(
+    name: str, width: int, height: int, concentration: int = 4
+) -> int:
+    """Node count of :func:`build_topology` without building adjacency."""
+    if name in ("mesh", "torus", "ring"):
+        return width * height
+    if name == "cmesh":
+        return width * height * concentration
+    raise ValueError(
+        f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}"
+    )

@@ -13,35 +13,35 @@ from typing import Callable, Dict, List
 
 from repro.noc.flit import Packet, PacketType
 from repro.noc.network import Network
+from repro.noc.topology import Topology
 from repro.workloads.corpus import ValuePool
 from repro.workloads.profiles import get_profile
 
 
-def uniform_random(rng: random.Random, src: int, n_nodes: int) -> int:
+def uniform_random(rng: random.Random, src: int, topology: Topology) -> int:
     """Uniformly random destination, excluding the source."""
-    dst = rng.randrange(n_nodes - 1)
+    dst = rng.randrange(topology.n_nodes - 1)
     return dst if dst < src else dst + 1
 
 
-def transpose(rng: random.Random, src: int, n_nodes: int) -> int:
-    """Bit-transpose destination (worst-case for XY routing)."""
-    width = int(round(n_nodes ** 0.5))
-    x, y = src % width, src // width
-    dst = x * width + y
+def transpose(rng: random.Random, src: int, topology: Topology) -> int:
+    """Transpose-permutation destination (worst-case for dimension-order
+    routing on square grids; index reversal on grid-less topologies)."""
+    dst = topology.transpose_of(src)
     if dst == src:
-        return uniform_random(rng, src, n_nodes)
+        return uniform_random(rng, src, topology)
     return dst
 
 
 def hotspot(
-    rng: random.Random, src: int, n_nodes: int, hotspots=(0,), weight=0.5
+    rng: random.Random, src: int, topology: Topology, hotspots=(0,), weight=0.5
 ) -> int:
     """Uniform traffic with a fraction directed at hotspot nodes."""
     if rng.random() < weight:
         dst = hotspots[rng.randrange(len(hotspots))]
         if dst != src:
             return dst
-    return uniform_random(rng, src, n_nodes)
+    return uniform_random(rng, src, topology)
 
 
 @dataclass
@@ -88,11 +88,11 @@ class SyntheticTraffic:
 
     def step(self) -> None:
         """Inject per-node Bernoulli traffic, then tick the network."""
-        n = self.network.mesh.n_nodes
-        for src in range(n):
+        topology = self.network.topology
+        for src in range(topology.n_nodes):
             if self.rng.random() >= self.config.injection_rate:
                 continue
-            dst = self._pick_dst(self.rng, src, n)
+            dst = self._pick_dst(self.rng, src, topology)
             if self.rng.random() < self.config.data_fraction:
                 line = self.pool.line(self.rng.randrange(1 << 20))
                 packet = Packet(

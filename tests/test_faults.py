@@ -6,7 +6,9 @@ replay capsule, or a watchdog with wedge diagnostics) or *degraded*
 (absorbed by an explicit fallback path and counted) — never silent.
 
 ``REPRO_FAULT_SEED`` re-runs the campaign under a different fault seed
-(the CI fault-matrix job sweeps several).
+(the CI fault-matrix job sweeps several); ``REPRO_FAULT_TOPOLOGY`` runs
+the campaign-level tests on a different fabric (the CI matrix adds a
+torus entry), since the zero-silent contract must hold on any topology.
 """
 
 import dataclasses
@@ -31,8 +33,15 @@ from repro.noc.flit import Packet, PacketType
 from repro.noc.traffic import SyntheticTraffic, TrafficConfig
 
 FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "3"))
+FAULT_TOPOLOGY = os.environ.get("REPRO_FAULT_TOPOLOGY", "mesh")
 
 LINE = bytes(range(64))
+
+
+def campaign_spec(**kwargs) -> CampaignSpec:
+    """A CampaignSpec on the fabric under test (REPRO_FAULT_TOPOLOGY)."""
+    kwargs.setdefault("topology", FAULT_TOPOLOGY)
+    return CampaignSpec(**kwargs)
 
 
 def data_packet(src=0, dst=3, line=LINE):
@@ -207,7 +216,7 @@ class TestScheduledFaults:
             ScheduledFault(cycle=40, kind="wedge", duration=PERMANENT),
         ))
         report = run_fault_campaign(
-            CampaignSpec(cycles=200, drain_limit=2_000), plan
+            campaign_spec(cycles=200, drain_limit=2_000), plan
         )
         assert report.watchdog is not None
         # The wedge snapshot names the stuck VC and its wedge bound.
@@ -221,7 +230,7 @@ class TestScheduledFaults:
 
 class TestEngineFaults:
     def _run(self, plan):
-        network = build_campaign_network(CampaignSpec())
+        network = build_campaign_network(campaign_spec())
         controller = FaultController(plan, raise_on_violation=False)
         network.attach_faults(controller)
         traffic = SyntheticTraffic(
@@ -261,7 +270,7 @@ class TestEngineFaults:
 class TestZeroFaultBitIdentity:
     def test_attached_zero_plan_changes_nothing(self):
         def run(attach):
-            network = build_campaign_network(CampaignSpec())
+            network = build_campaign_network(campaign_spec())
             if attach:
                 network.attach_faults(
                     FaultController(FaultPlan(seed=123456))
@@ -301,7 +310,7 @@ class TestFaultCampaign:
         engine_stall_rate=0.15,
         engine_bitflip_rate=0.15,
     )
-    SPEC = CampaignSpec(cycles=1800, injection_rate=0.06)
+    SPEC = campaign_spec(cycles=1800, injection_rate=0.06)
 
     def test_mixed_campaign_no_silent_corruption(self):
         report = run_fault_campaign(self.SPEC, self.PLAN)
@@ -325,10 +334,30 @@ class TestFaultCampaign:
 
     def test_report_summary_is_self_describing(self):
         report = run_fault_campaign(
-            CampaignSpec(cycles=300),
+            campaign_spec(cycles=300),
             FaultPlan(seed=FAULT_SEED, drop_rate=0.05),
         )
         text = report.summary()
         assert "fault campaign" in text
         assert f"plan seed {FAULT_SEED}" in text
         assert "silent=0" in text
+
+
+class TestNonMeshCampaign:
+    """The zero-silent contract is a fabric property, not a mesh one."""
+
+    def test_torus_campaign_no_silent_corruption(self):
+        report = run_fault_campaign(
+            CampaignSpec(cycles=600, injection_rate=0.06, topology="torus"),
+            FaultPlan(
+                seed=FAULT_SEED,
+                drop_rate=0.03,
+                credit_rate=0.006,
+                engine_stall_rate=0.1,
+            ),
+        )
+        assert report.faults_injected > 0
+        assert report.silent == 0, report.summary()
+        assert "torus" in report.spec.describe()
+        # The campaign really ran on escape VCs (4 per port, 2 per vnet).
+        assert report.spec.noc_config().vcs_per_vnet == 2

@@ -1,0 +1,58 @@
+"""Golden determinism: the default Table 2 mesh is bit-identical.
+
+The digests below were captured on the pre-fabric-refactor tree (fixed
+5-port mesh, module-level XY routing) over the fig5/fig6 quick specs.
+Every refactor of the NoC must leave the default ``NocConfig()`` mesh
+producing byte-for-byte identical ``CounterSnapshot``s — any change to
+arbitration order, VC allocation, routing, or placement shows up here as
+a digest mismatch.
+
+If a PR *intentionally* changes default-mesh semantics (a new stat, a
+fixed bug), re-capture the digests and say so in the PR; this file
+failing on an "invisible" refactor means the refactor is not invisible.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.runner import QUICK_ACCESSES, RunSpec, run_spec
+
+#: scheme -> sha256 over (full snapshot, measured snapshot, cycles,
+#: avg miss latency) for the quick blackscholes spec.
+GOLDEN_DIGESTS = {
+    "baseline": "1f3195721da8a4fa50ab5d2ab0310849f0566faa9cf78dc86da7cf8ffbbf6bd9",
+    "cc": "2152aacebe9bc32634a77afe938d84e526cc91399a1a3ccb5ebe028091d80ec1",
+    "cnc": "21d962814a8ce770618f207bb7898816ce454e74fd84023baf345d946bd82e4f",
+    "disco": "67d36c7911db5853835846dd3ffd69537b02ecb992b20e1e6d6d2c7c62cf375b",
+    "ideal": "169456c1d86868bf7da1dff964dab521fb273e4df4ce4a583575d319201585cc",
+}
+
+
+def result_digest(result) -> str:
+    payload = {
+        "full": sorted(result.snapshot_full.flat().items()),
+        "measured": sorted(result.snapshot_measured.flat().items()),
+        "cycles": result.cycles,
+        "avg_miss_latency": result.avg_miss_latency,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN_DIGESTS))
+def test_default_mesh_counter_snapshots_are_golden(scheme):
+    spec = RunSpec(
+        scheme=scheme, workload="blackscholes",
+        accesses_per_core=QUICK_ACCESSES,
+    )
+    # The default spec must still be the Table 2 mesh.
+    assert spec.topology == "mesh"
+    assert spec.noc_config().vcs_per_vnet == 1
+    result = run_spec(spec)
+    assert result_digest(result) == GOLDEN_DIGESTS[scheme], (
+        f"default-mesh {scheme} run diverged from the pre-refactor golden "
+        f"digest — the Table 2 fabric is no longer bit-identical"
+    )

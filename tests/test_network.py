@@ -105,12 +105,21 @@ class TestFlowControlVariants:
         assert len(delivered) == 1
 
     def test_vct_rejects_undersized_buffers(self):
+        # Construction-time: vc_depth < max packet length is a config error.
+        with pytest.raises(ValueError, match="vc_depth"):
+            NocConfig(
+                flow_control=FlowControl.VIRTUAL_CUT_THROUGH, vc_depth=4
+            )
+        # Runtime backstop: a packet larger than the declared max_line_bytes
+        # still trips the whole-packet invariant at VC allocation.
         config = NocConfig(
-            flow_control=FlowControl.VIRTUAL_CUT_THROUGH, vc_depth=4
+            flow_control=FlowControl.VIRTUAL_CUT_THROUGH,
+            vc_depth=10,
+            max_line_bytes=64,
         )
         network = Network(config)
         network.set_delivery_handler(lambda n, p: None)
-        network.send(Packet(PacketType.RESPONSE, 0, 3, line=b"\x00" * 64))
+        network.send(Packet(PacketType.RESPONSE, 0, 3, line=b"\x00" * 128))
         with pytest.raises(RuntimeError):
             network.run_until_quiescent()
 

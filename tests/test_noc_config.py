@@ -12,6 +12,8 @@ def test_defaults_match_table2():
     assert config.vc_depth == 8
     assert config.flit_bytes == 8
     assert config.flow_control is FlowControl.WORMHOLE
+    assert config.topology == "mesh"
+    assert config.make_routing().name == "xy"
 
 
 def test_vnet_vc_partitioning():
@@ -35,11 +37,79 @@ def test_n_nodes():
         {"flit_bytes": 0},
         {"link_latency": 0},
         {"ejection_bandwidth": 0},
+        {"concentration": 0},
+        {"max_line_bytes": 0},
+        # Unknown fabric / routing names.
+        {"topology": "hypercube"},
+        {"routing": "spiral"},
+        # Routing that does not fit the topology.
+        {"topology": "ring", "routing": "xy", "vcs_per_vnet": 2},
+        # Wrap-around fabrics too small to wrap.
+        {"topology": "torus", "width": 1, "vcs_per_vnet": 2},
+        {"topology": "ring", "width": 1, "height": 1, "vcs_per_vnet": 2},
+        # Dateline routings need escape VCs.
+        {"topology": "torus"},
+        {"topology": "ring"},
+        # VCT/SAF must hold a whole max-size packet per VC.
+        {"flow_control": FlowControl.VIRTUAL_CUT_THROUGH, "vc_depth": 8},
+        {"flow_control": FlowControl.STORE_AND_FORWARD, "vc_depth": 8},
+        {
+            "flow_control": FlowControl.VIRTUAL_CUT_THROUGH,
+            "vc_depth": 9,
+            "max_line_bytes": 128,
+        },
     ],
 )
 def test_validation(kwargs):
     with pytest.raises(ValueError):
         NocConfig(**kwargs)
+
+
+def test_max_packet_flits():
+    assert NocConfig().max_packet_flits == 9  # head + 64/8 data flits
+    assert NocConfig(flit_bytes=16).max_packet_flits == 5
+    assert NocConfig(max_line_bytes=72).max_packet_flits == 10
+
+
+def test_vct_accepts_whole_packet_buffers():
+    config = NocConfig(
+        flow_control=FlowControl.VIRTUAL_CUT_THROUGH, vc_depth=9
+    )
+    assert config.vc_depth == config.max_packet_flits
+
+
+def test_escape_class_partitioning():
+    config = NocConfig(topology="torus", vcs_per_vnet=2)
+    assert list(config.escape_class_vcs(0, 0)) == [0]
+    assert list(config.escape_class_vcs(0, 1)) == [1]
+    assert list(config.escape_class_vcs(1, 0)) == [2]
+    assert list(config.escape_class_vcs(1, 1)) == [3]
+    # The two classes partition each vnet's VC range.
+    for vnet in range(config.vnets):
+        union = set(config.escape_class_vcs(vnet, 0)) | set(
+            config.escape_class_vcs(vnet, 1)
+        )
+        assert union == set(config.vnet_vcs(vnet))
+
+
+def test_fabric_n_nodes_per_topology():
+    assert NocConfig(topology="torus", vcs_per_vnet=2).n_nodes == 16
+    assert NocConfig(topology="ring", vcs_per_vnet=2).n_nodes == 16
+    assert NocConfig(topology="cmesh", concentration=4).n_nodes == 64
+    assert NocConfig(topology="cmesh", width=2, height=2).n_nodes == 16
+
+
+def test_make_topology_matches_config():
+    for kwargs in (
+        {"topology": "mesh"},
+        {"topology": "torus", "vcs_per_vnet": 2},
+        {"topology": "ring", "vcs_per_vnet": 2},
+        {"topology": "cmesh", "width": 2, "height": 2},
+    ):
+        config = NocConfig(**kwargs)
+        topology = config.make_topology()
+        assert topology.name == config.topology
+        assert topology.n_nodes == config.n_nodes
 
 
 def test_flow_control_values():

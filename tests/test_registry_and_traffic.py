@@ -8,7 +8,7 @@ from repro.compression import (
     get_algorithm,
     get_timing,
 )
-from repro.noc import Network, NocConfig
+from repro.noc import Mesh2D, Network, NocConfig, Ring
 from repro.noc.traffic import (
     SyntheticTraffic,
     TrafficConfig,
@@ -55,22 +55,30 @@ class TestRegistry:
 
 
 class TestTrafficPatterns:
+    MESH = Mesh2D(4, 4)
+
     def test_uniform_never_self(self):
         rng = random.Random(1)
         for _ in range(200):
             src = rng.randrange(16)
-            assert uniform_random(rng, src, 16) != src
+            assert uniform_random(rng, src, self.MESH) != src
 
     def test_transpose_mapping(self):
         rng = random.Random(1)
         # node 1 = (1,0) -> (0,1) = node 4 on a 4x4
-        assert transpose(rng, 1, 16) == 4
-        assert transpose(rng, 7, 16) == 13
+        assert transpose(rng, 1, self.MESH) == 4
+        assert transpose(rng, 7, self.MESH) == 13
+
+    def test_transpose_on_a_ring_reverses_indices(self):
+        rng = random.Random(1)
+        ring = Ring(8)
+        assert transpose(rng, 1, ring) == 6
+        assert transpose(rng, 6, ring) == 1
 
     def test_hotspot_bias(self):
         rng = random.Random(1)
         hits = sum(
-            hotspot(rng, 5, 16, hotspots=(0,), weight=0.5) == 0
+            hotspot(rng, 5, self.MESH, hotspots=(0,), weight=0.5) == 0
             for _ in range(1000)
         )
         assert hits > 300

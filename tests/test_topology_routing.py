@@ -1,11 +1,18 @@
-"""Mesh topology and XY routing tests."""
+"""Topology and routing tests: mesh/torus/ring/cmesh + the registry."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.noc.routing import xy_hops, xy_route
+from repro.noc.routing import (
+    DEFAULT_ROUTING,
+    ROUTING_REGISTRY,
+    resolve_routing,
+    xy_hops,
+    xy_route,
+)
 from repro.noc.topology import (
+    ConcentratedMesh2D,
     Mesh,
     OPPOSITE,
     PORT_EAST,
@@ -13,6 +20,12 @@ from repro.noc.topology import (
     PORT_NORTH,
     PORT_SOUTH,
     PORT_WEST,
+    RING_CCW,
+    RING_CW,
+    Ring,
+    Torus2D,
+    build_topology,
+    fabric_n_nodes,
 )
 
 
@@ -89,3 +102,230 @@ class TestXYRouting:
         assert xy_hops(mesh, 0, 15) == 6
         assert xy_hops(mesh, 5, 5) == 0
         assert xy_hops(mesh, 0, 3) == 3
+
+
+def walk_route(topology, route_fn, src, dst):
+    """Follow a route function link by link; returns (hops, classes)."""
+    current, hops, classes = src, 0, []
+    while current != dst:
+        port, vc_class = route_fn(topology, current, dst)
+        assert port != PORT_LOCAL
+        classes.append(vc_class)
+        nbr = topology.neighbor[current].get(port)
+        assert nbr is not None, f"route exited the fabric at {current}"
+        current = nbr
+        hops += 1
+        assert hops <= topology.n_nodes * 2, "route is cycling"
+    port, vc_class = route_fn(topology, dst, dst)
+    assert port == PORT_LOCAL and vc_class is None
+    return hops, classes
+
+
+ALL_FABRICS = (
+    build_topology("mesh", 4, 4),
+    build_topology("torus", 4, 4),
+    build_topology("ring", 4, 2),
+    build_topology("cmesh", 2, 2, 4),
+)
+
+
+class TestTopologyProtocol:
+    @pytest.mark.parametrize("topology", ALL_FABRICS, ids=lambda t: t.name)
+    def test_adjacency_is_symmetric(self, topology):
+        # Every directed link (node, port) -> nbr lands on a port whose
+        # own link points straight back.
+        for node in range(topology.n_nodes):
+            for port, nbr in topology.neighbor[node].items():
+                if nbr is None:
+                    continue
+                back = topology.neighbor_port(node, port)
+                assert topology.neighbor[nbr][back] == node
+
+    @pytest.mark.parametrize("topology", ALL_FABRICS, ids=lambda t: t.name)
+    def test_radix_covers_every_link_port(self, topology):
+        for node in range(topology.n_nodes):
+            radix = topology.radix(node)
+            assert radix >= 2  # local + at least one link
+            for port in topology.neighbor[node]:
+                assert 1 <= port < radix
+            assert PORT_LOCAL not in topology.neighbor[node]
+
+    @pytest.mark.parametrize("topology", ALL_FABRICS, ids=lambda t: t.name)
+    def test_hop_distance_is_a_metric(self, topology):
+        n = topology.n_nodes
+        for src in range(n):
+            assert topology.hop_distance(src, src) == 0
+            for dst in range(n):
+                d = topology.hop_distance(src, dst)
+                assert d == topology.hop_distance(dst, src)
+                assert (d == 0) == (src == dst)
+
+    def test_factory_matches_n_nodes(self):
+        for name, args in (
+            ("mesh", (4, 4)), ("torus", (3, 5)),
+            ("ring", (4, 4)), ("cmesh", (2, 3)),
+        ):
+            assert build_topology(name, *args).n_nodes == fabric_n_nodes(
+                name, *args
+            )
+        with pytest.raises(ValueError):
+            build_topology("hypercube", 4, 4)
+        with pytest.raises(ValueError):
+            fabric_n_nodes("hypercube", 4, 4)
+
+
+class TestTorus:
+    def test_wrap_neighbors(self):
+        torus = Torus2D(4, 4)
+        assert torus.neighbor[0][PORT_WEST] == 3  # x wraps
+        assert torus.neighbor[3][PORT_EAST] == 0
+        assert torus.neighbor[0][PORT_NORTH] == 12  # y wraps
+        assert torus.neighbor[12][PORT_SOUTH] == 0
+
+    def test_wrap_hop_distance(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_distance(0, 3) == 1  # around the wrap
+        assert torus.hop_distance(0, 15) == 2  # (-1, -1)
+        assert torus.hop_distance(0, 5) == 2
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            Torus2D(1, 4)
+
+    @given(src=st.integers(0, 24), dst=st.integers(0, 24))
+    @settings(max_examples=200, deadline=None)
+    def test_route_walk_is_minimal(self, src, dst):
+        torus = Torus2D(5, 5)
+        fn = ROUTING_REGISTRY["dor_dateline"].fn
+        hops, classes = walk_route(torus, fn, src, dst)
+        assert hops == torus.hop_distance(src, dst)
+        # Every inter-router step carries a dateline class.
+        assert all(c in (0, 1) for c in classes)
+
+    @given(src=st.integers(0, 24), dst=st.integers(0, 24))
+    @settings(max_examples=200, deadline=None)
+    def test_dateline_class_drops_exactly_at_the_wrap(self, src, dst):
+        # Within one dimension's traversal: class 1 strictly before the
+        # wrap crossing, class 0 strictly after, never 0 -> 1.  Class 0
+        # therefore never occupies a wrap link and a class-1 chain ends at
+        # the wrap — both dependency graphs stay acyclic.
+        torus = Torus2D(5, 5)
+        fn = ROUTING_REGISTRY["dor_dateline"].fn
+        current, prev_port, prev_class = src, None, None
+        while current != dst:
+            port, vc_class = fn(torus, current, dst)
+            if port == prev_port:
+                assert (prev_class, vc_class) != (0, 1)
+            prev_port, prev_class = port, vc_class
+            current = torus.neighbor[current][port]
+
+    def test_class_zero_never_uses_a_wrap_link(self):
+        torus = Torus2D(5, 5)
+        fn = ROUTING_REGISTRY["dor_dateline"].fn
+        for src in range(25):
+            for dst in range(25):
+                current = src
+                while current != dst:
+                    port, vc_class = fn(torus, current, dst)
+                    nbr = torus.neighbor[current][port]
+                    cx, cy = torus.coords(current)
+                    nx, ny = torus.coords(nbr)
+                    wrap = abs(cx - nx) > 1 or abs(cy - ny) > 1
+                    if wrap:
+                        assert vc_class == 1
+                    current = nbr
+
+
+class TestRing:
+    def test_adjacency(self):
+        ring = Ring(6)
+        assert ring.neighbor[5][RING_CW] == 0
+        assert ring.neighbor[0][RING_CCW] == 5
+        assert ring.neighbor_port(0, RING_CW) == RING_CCW
+        assert ring.neighbor_port(0, RING_CCW) == RING_CW
+        assert ring.radix(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ring(1)
+
+    @given(src=st.integers(0, 15), dst=st.integers(0, 15))
+    @settings(max_examples=200, deadline=None)
+    def test_route_walk_is_minimal(self, src, dst):
+        ring = Ring(16)
+        fn = ROUTING_REGISTRY["ring_dateline"].fn
+        hops, classes = walk_route(ring, fn, src, dst)
+        assert hops == ring.hop_distance(src, dst)
+        assert all(c in (0, 1) for c in classes)
+
+    def test_direction_is_minimal_and_tie_breaks_clockwise(self):
+        ring = Ring(8)
+        fn = ROUTING_REGISTRY["ring_dateline"].fn
+        assert fn(ring, 0, 2)[0] == RING_CW
+        assert fn(ring, 0, 6)[0] == RING_CCW
+        assert fn(ring, 0, 4)[0] == RING_CW  # tie -> clockwise
+
+    def test_dateline_class_set_after_wrap(self):
+        ring = Ring(8)
+        fn = ROUTING_REGISTRY["ring_dateline"].fn
+        # 6 -> 1 clockwise: before the wrap (current 6,7 > dst) class 1,
+        # after the wrap (current 0 < dst) class 0.
+        assert fn(ring, 6, 1) == (RING_CW, 1)
+        assert fn(ring, 7, 1) == (RING_CW, 1)
+        assert fn(ring, 0, 1) == (RING_CW, 0)
+
+
+class TestConcentratedMesh:
+    def test_structure(self):
+        cmesh = ConcentratedMesh2D(2, 2, concentration=4)
+        assert cmesh.n_nodes == 16
+        assert cmesh.is_hub(0) and cmesh.is_hub(4)
+        assert not cmesh.is_hub(1)
+        assert cmesh.hub_of(6) == 4
+        assert cmesh.radix(0) == 5 + 3  # mesh ports + 3 star links
+        assert cmesh.radix(1) == 2  # local + uplink
+        assert cmesh.neighbor[1][1] == 0  # leaf uplink
+        assert cmesh.neighbor[0][cmesh.star_port(1)] == 1
+        assert cmesh.neighbor[0][PORT_EAST] == 4  # hub-to-hub mesh link
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcentratedMesh2D(2, 2, concentration=0)
+        with pytest.raises(ValueError):
+            ConcentratedMesh2D(2, 2).star_port(4)  # a hub, not a leaf
+
+    @given(src=st.integers(0, 15), dst=st.integers(0, 15))
+    @settings(max_examples=200, deadline=None)
+    def test_route_walk_is_minimal(self, src, dst):
+        cmesh = ConcentratedMesh2D(2, 2, concentration=4)
+        fn = ROUTING_REGISTRY["cmesh_xy"].fn
+        hops, classes = walk_route(cmesh, fn, src, dst)
+        assert hops == cmesh.hop_distance(src, dst)
+        assert all(c is None for c in classes)  # tree + XY needs no classes
+
+    def test_corner_nodes_are_hubs(self):
+        cmesh = ConcentratedMesh2D(4, 4, concentration=4)
+        for node in cmesh.corner_nodes():
+            assert cmesh.is_hub(node)
+
+
+class TestRoutingRegistry:
+    def test_every_topology_has_a_default(self):
+        for name in ("mesh", "torus", "ring", "cmesh"):
+            algorithm = resolve_routing(name)
+            assert algorithm.name == DEFAULT_ROUTING[name]
+            assert name in algorithm.topologies
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing"):
+            resolve_routing("mesh", "spiral")
+
+    def test_topology_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not support"):
+            resolve_routing("ring", "xy")
+
+    def test_escape_vc_flags(self):
+        assert resolve_routing("torus").needs_escape_vcs
+        assert resolve_routing("ring").needs_escape_vcs
+        assert not resolve_routing("mesh").needs_escape_vcs
+        assert not resolve_routing("cmesh").needs_escape_vcs
