@@ -301,3 +301,4 @@ class DiscoCompressorEngine:
         vc.flits_present += added
         vc.flits_received = packet.size_flits
         stats.decompressions += 1
+        stats.flits_restored += added

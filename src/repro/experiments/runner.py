@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import pickle
+import random
 import tempfile
 import time
 import warnings
@@ -104,21 +105,34 @@ class RunnerError(RuntimeError):
 
     ``failures`` maps each failed :class:`RunSpec` to its exception;
     ``completed`` holds every survivor — also already published to the
-    memo/disk caches, so a rerun only repeats the failures.
+    memo/disk caches, so a rerun only repeats the failures.  ``prior``
+    maps specs to the exception their *first* attempt raised, so a
+    flaky-then-fatal sequence (say, a timeout followed by a crash) is
+    fully visible in the message instead of only the last symptom.
     """
 
     def __init__(
         self,
         failures: Dict[RunSpec, BaseException],
         completed: Dict[RunSpec, "SimulationResult"],
+        prior: Optional[Dict[RunSpec, BaseException]] = None,
     ):
         self.failures = dict(failures)
         self.completed = dict(completed)
-        names = ", ".join(
-            f"{spec.scheme}/{spec.algorithm}:{spec.workload}"
-            f"({spec.topology} {spec.width}x{spec.height}, seed {spec.seed})"
-            for spec in failures
-        )
+        self.prior = dict(prior) if prior else {}
+
+        def describe(spec: RunSpec) -> str:
+            name = (
+                f"{spec.scheme}/{spec.algorithm}:{spec.workload}"
+                f"({spec.topology} {spec.width}x{spec.height}, "
+                f"seed {spec.seed})"
+            )
+            earlier = self.prior.get(spec)
+            if earlier is not None:
+                name += f" (first attempt: {earlier!r})"
+            return name
+
+        names = ", ".join(describe(spec) for spec in failures)
         first = next(iter(failures.values()))
         super().__init__(
             f"{len(failures)} of {len(failures) + len(completed)} specs "
@@ -451,6 +465,34 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def _retry_backoff() -> float:
+    """Jittered pause (seconds) before resubmitting a failed spec.
+
+    A retry fired immediately after a failure tends to land in the same
+    transient condition that killed the first attempt (a loaded machine,
+    a descriptor-exhaustion spike); a short randomized pause decorrelates
+    the attempts.  Base seconds come from ``REPRO_RETRY_BACKOFF``
+    (default 0.1; ``0`` disables, unparseable values use the default)
+    and the actual sleep is uniform in [0.5x, 1.5x] of the base.
+    """
+    env = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
+    base = 0.1
+    if env:
+        try:
+            base = float(env)
+        except ValueError:
+            base = 0.1
+    if base <= 0:
+        return 0.0
+    return random.uniform(0.5, 1.5) * base
+
+
+def _pause_before_retry() -> None:
+    delay = _retry_backoff()
+    if delay > 0:
+        time.sleep(delay)
+
+
 def _spec_timeout() -> Optional[float]:
     """Per-spec future timeout in seconds (``REPRO_SPEC_TIMEOUT``; ``0``
     or negative disables, unparseable values use the default)."""
@@ -493,20 +535,26 @@ def _run_parallel(
     out: Dict[RunSpec, SimulationResult],
     failures: Dict[RunSpec, BaseException],
     verbose: bool,
+    prior: Optional[Dict[RunSpec, BaseException]] = None,
 ) -> None:
     """Fan misses out over a process pool, one future per spec.
 
-    Each spec gets a per-spec timeout and one retry (a fresh future) on
-    timeout or exception.  A dead worker (``BrokenProcessPool``) abandons
-    the pool and reruns everything unresolved serially in-process —
-    completed results are kept either way.  A future still running after
-    its retry window is abandoned (``shutdown(wait=False)``) rather than
-    joined, so one hung worker cannot hang the batch.
+    Each spec gets a per-spec timeout and one retry (a fresh future,
+    after a jittered :func:`_retry_backoff` pause) on timeout or
+    exception; the first attempt's exception is recorded in ``prior`` so
+    :class:`RunnerError` can report both symptoms.  A dead worker
+    (``BrokenProcessPool``) abandons the pool and reruns everything
+    unresolved serially in-process — completed results are kept either
+    way.  A future still running after its retry window is abandoned
+    (``shutdown(wait=False)``) rather than joined, so one hung worker
+    cannot hang the batch.
     """
     timeout = _spec_timeout()
     pool = ProcessPoolExecutor(max_workers=jobs)
     futures = {spec: pool.submit(_simulate, spec) for spec in misses}
     abandoned = False
+    if prior is None:
+        prior = {}
     try:
         for spec in misses:
             for attempt in (0, 1):
@@ -518,6 +566,11 @@ def _run_parallel(
                     futures[spec].cancel()  # no-op if already running
                     abandoned = True  # a worker may still be wedged
                     if attempt == 0:
+                        prior[spec] = TimeoutError(
+                            f"spec exceeded {timeout}s: "
+                            f"{spec.scheme}:{spec.workload}"
+                        )
+                        _pause_before_retry()
                         futures[spec] = pool.submit(_simulate, spec)
                         continue
                     failures[spec] = TimeoutError(
@@ -526,6 +579,8 @@ def _run_parallel(
                     )
                 except Exception as exc:
                     if attempt == 0:
+                        prior[spec] = exc
+                        _pause_before_retry()
                         futures[spec] = pool.submit(_simulate, spec)
                         continue
                     failures[spec] = exc
@@ -584,14 +639,15 @@ def run_specs(
     if not misses:
         return out
     failures: Dict[RunSpec, BaseException] = {}
+    prior: Dict[RunSpec, BaseException] = {}
     jobs = default_jobs() if jobs is None else max(1, jobs)
     jobs = min(jobs, len(misses))
     if jobs == 1:
         _run_serial(misses, out, failures, verbose)
     else:
-        _run_parallel(misses, jobs, out, failures, verbose)
+        _run_parallel(misses, jobs, out, failures, verbose, prior)
     if failures:
-        raise RunnerError(failures, out)
+        raise RunnerError(failures, out, prior)
     return out
 
 

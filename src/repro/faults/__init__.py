@@ -23,6 +23,7 @@ from repro.faults.campaign import (
 from repro.faults.controller import (
     OUTCOME_DEGRADED,
     OUTCOME_DETECTED,
+    OUTCOME_RECOVERED,
     OUTCOME_SILENT,
     FaultController,
     FaultEvent,
@@ -48,6 +49,7 @@ __all__ = [
     "IntegrityViolation",
     "OUTCOME_DEGRADED",
     "OUTCOME_DETECTED",
+    "OUTCOME_RECOVERED",
     "OUTCOME_SILENT",
     "PERMANENT",
     "ReplayCapsule",

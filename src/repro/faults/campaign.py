@@ -24,6 +24,7 @@ from repro.core import DiscoConfig, disco_priority, make_disco_router_factory
 from repro.faults.controller import (
     OUTCOME_DEGRADED,
     OUTCOME_DETECTED,
+    OUTCOME_RECOVERED,
     OUTCOME_SILENT,
     FaultController,
     FaultEvent,
@@ -52,17 +53,35 @@ class CampaignSpec:
     #: Fabric shape ("mesh", "torus", "ring", "cmesh"); non-mesh fabrics
     #: get the escape VCs their default routing needs.
     topology: str = "mesh"
+    #: Turn on the end-to-end recovery layer (:mod:`repro.noc.reliability`):
+    #: NI retransmission plus the invariant monitor in squash-and-requeue
+    #: mode, so corrupted/dropped/wedged packets are re-delivered bit-exact
+    #: and reconcile as ``recovered`` instead of merely detected.
+    retransmission: bool = False
 
     def noc_config(self) -> NocConfig:
         """The fabric configuration this campaign runs on."""
         from repro.noc.routing import resolve_routing
 
         vcs = 2 if resolve_routing(self.topology).needs_escape_vcs else 1
+        reliability = {}
+        if self.retransmission:
+            reliability = dict(
+                retransmission=True,
+                # Check every 64 cycles with 6 stalled checks of patience:
+                # a permanently wedged chain is squashed and requeued well
+                # inside the drain limit, while the plan's transient wedges
+                # (and ordinary congestion) release long before.
+                invariant_interval=64,
+                invariant_patience=6,
+                invariant_recovery=True,
+            )
         return NocConfig(
             width=self.width,
             height=self.height,
             topology=self.topology,
             vcs_per_vnet=vcs,
+            **reliability,
         )
 
     def describe(self) -> str:
@@ -70,6 +89,7 @@ class CampaignSpec:
             f"{self.width}x{self.height} disco {self.topology}, "
             f"{self.pattern} traffic @ {self.injection_rate}/node/cycle for "
             f"{self.cycles} cycles, traffic seed {self.traffic_seed}"
+            + (", retransmission on" if self.retransmission else "")
         )
 
 
@@ -86,10 +106,15 @@ class CampaignReport:
     by_kind: Dict[str, int]
     detected: int
     degraded: int
+    recovered: int
     silent: int
     silent_events: List[FaultEvent]
     violations: List[IntegrityViolation]
     degraded_stats: Dict[str, int]
+    recovered_stats: Dict[str, int]
+    #: Payloads that never reached their destination ("lost" violations);
+    #: zero whenever retransmission is on and no retry cap was exhausted.
+    lost_payloads: int
     watchdog: Optional[str] = None  #: wedge snapshot when the drain stuck
     events: List[FaultEvent] = field(default_factory=list)
 
@@ -108,14 +133,23 @@ class CampaignReport:
             f"traffic: {self.packets_sent} sent, "
             f"{self.packets_delivered} delivered over {self.cycles_run} cycles",
             f"outcomes: detected={self.detected} degraded={self.degraded} "
-            f"silent={self.silent}",
+            f"recovered={self.recovered} silent={self.silent}",
             "degradation: "
             + ", ".join(
                 f"{name}={value}"
                 for name, value in sorted(self.degraded_stats.items())
             ),
-            f"integrity violations: {len(self.violations)}",
+            f"integrity violations: {len(self.violations)} "
+            f"({self.lost_payloads} lost payloads)",
         ]
+        if self.spec.retransmission:
+            lines.append(
+                "recovery: "
+                + ", ".join(
+                    f"{name}={value}"
+                    for name, value in sorted(self.recovered_stats.items())
+                )
+            )
         if self.watchdog:
             lines.append("watchdog fired:")
             lines.append(self.watchdog)
@@ -186,10 +220,15 @@ def run_fault_campaign(
         by_kind=dict(controller.by_kind),
         detected=counts[OUTCOME_DETECTED],
         degraded=counts[OUTCOME_DEGRADED],
+        recovered=counts[OUTCOME_RECOVERED],
         silent=counts[OUTCOME_SILENT],
         silent_events=controller.silent_events(),
         violations=list(controller.checker.violations),
         degraded_stats=network.degraded.counters(),
+        recovered_stats=network.recovered.counters(),
+        lost_payloads=sum(
+            1 for v in controller.checker.violations if v.reason == "lost"
+        ),
         watchdog=watchdog,
         events=list(controller.events),
     )

@@ -55,6 +55,7 @@ _FOREVER = 1 << 60
 
 OUTCOME_DETECTED = "detected"
 OUTCOME_DEGRADED = "degraded"
+OUTCOME_RECOVERED = "recovered"
 OUTCOME_SILENT = "silent"
 
 
@@ -363,8 +364,14 @@ class FaultController:
     ) -> Dict[str, int]:
         """Finalize the integrity ledger and classify every fault event.
 
-        Idempotent.  Returns ``{"detected": n, "degraded": n, "silent": n}``;
-        a correct pipeline yields ``silent == 0``.
+        Idempotent.  Returns ``{"detected": n, "degraded": n,
+        "recovered": n, "silent": n}``; a correct pipeline yields
+        ``silent == 0``.
+
+        With the reliability layer enabled a fault whose victim packet was
+        re-delivered bit-exact through a retransmission is classified
+        ``recovered`` — strictly better than detected (nothing was lost)
+        and checked before the other outcomes.
         """
         if not self._reconciled:
             self._reconciled = True
@@ -376,23 +383,34 @@ class FaultController:
                 v.pid for v in self.checker.violations if v.reason == "lost"
             }
             flagged = corrupt | lost
+            recovered = set()
+            if (
+                self.network is not None
+                and self.network.reliability is not None
+            ):
+                recovered = self.network.reliability.recovered_pids
             permanent = {id(event): vc for event, vc in self._permanent_wedges}
             for event in self.events:
                 if event.kind in ("payload", "engine", "drop"):
                     # Loss and corruption both surface through the checker;
                     # an engine bit-flip or a masked corruption that
                     # delivered a byte-identical line degraded gracefully.
-                    event.outcome = (
-                        OUTCOME_DETECTED
-                        if event.pid in flagged
-                        else OUTCOME_DEGRADED
-                    )
+                    if event.pid in recovered:
+                        event.outcome = OUTCOME_RECOVERED
+                    elif event.pid in flagged:
+                        event.outcome = OUTCOME_DETECTED
+                    else:
+                        event.outcome = OUTCOME_DEGRADED
                 elif event.kind == "credit":
                     event.outcome = OUTCOME_DEGRADED  # resync restores flow
                 elif event.kind == "wedge":
                     vc = permanent.get(id(event))
                     if vc is None:
                         event.outcome = OUTCOME_DEGRADED  # timed release
+                    elif event.pid in recovered:
+                        # The invariant monitor squashed the wedged chain
+                        # and the retransmission path re-delivered it.
+                        event.outcome = OUTCOME_RECOVERED
                     elif watchdog_fired or event.pid in flagged:
                         event.outcome = OUTCOME_DETECTED
                     elif vc.packet is None and vc.flits_present == 0:
@@ -406,6 +424,7 @@ class FaultController:
         counts = {
             OUTCOME_DETECTED: 0,
             OUTCOME_DEGRADED: 0,
+            OUTCOME_RECOVERED: 0,
             OUTCOME_SILENT: 0,
         }
         for event in self.events:

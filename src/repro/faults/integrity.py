@@ -48,6 +48,8 @@ class ReplayCapsule:
     is_compressed: bool  #: wire form at detection time
     poisoned: bool  #: engine fault marked it for the fallback path
     size_flits: int
+    seq: int = -1  #: reliability-layer sequence number (-1: unprotected)
+    retransmissions: int = 0  #: replay attempts observed at detection time
 
     def describe(self) -> str:
         hops = []
@@ -57,6 +59,10 @@ class ReplayCapsule:
             hops.append(f"decompressed@hop{self.decompressed_at_hop}")
         if self.poisoned:
             hops.append("poisoned")
+        if self.seq >= 0:
+            hops.append(
+                f"seq {self.seq}, {self.retransmissions} retransmissions"
+            )
         state = ", ".join(hops) if hops else "never touched an engine"
         return (
             f"packet #{self.pid} {self.src}->{self.dst} "
@@ -100,6 +106,7 @@ class _TrackedPacket:
     injected_cycle: int
     src: int
     dst: int
+    seq: int = -1
 
 
 @dataclass
@@ -118,7 +125,7 @@ class IntegrityChecker:
     def record(self, cycle: int, packet: Packet) -> None:
         """Fingerprint a packet as it enters the network."""
         self._tracked[packet.pid] = _TrackedPacket(
-            payload_digest(packet), cycle, packet.src, packet.dst
+            payload_digest(packet), cycle, packet.src, packet.dst, packet.seq
         )
 
     def verify(
@@ -173,6 +180,7 @@ class IntegrityChecker:
                 is_compressed=False,
                 poisoned=False,
                 size_flits=-1,
+                seq=entry.seq,
             )
             violation = IntegrityViolation("lost", pid, capsule)
             new.append(violation)
@@ -197,4 +205,6 @@ class IntegrityChecker:
             is_compressed=packet.is_compressed,
             poisoned=packet.poisoned,
             size_flits=packet.size_flits,
+            seq=packet.seq,
+            retransmissions=packet.retransmissions,
         )

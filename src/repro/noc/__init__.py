@@ -40,6 +40,13 @@ from repro.noc.routing import (
     xy_route,
 )
 from repro.noc.network import Network
+from repro.noc.reliability import (
+    InvariantMonitor,
+    InvariantViolation,
+    ReliabilityLayer,
+    payload_crc,
+    squash_packet,
+)
 from repro.noc.stats import NetworkStats
 
 __all__ = [
@@ -66,4 +73,9 @@ __all__ = [
     "xy_hops",
     "Network",
     "NetworkStats",
+    "ReliabilityLayer",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "payload_crc",
+    "squash_packet",
 ]

@@ -51,6 +51,40 @@ class NocConfig:
     routing: str = ""  # "" -> the topology's default algorithm
     concentration: int = 4  # terminals per hub (cmesh only)
     max_line_bytes: int = 64  # largest cache line the fabric carries
+    # -- reliability layer (repro.noc.reliability; all off by default so
+    # the Table 2 mesh stays bit-identical to the golden digests) --------
+    #: Enable the NI retransmission protocol: per-(src, dst, vnet)
+    #: sequence numbers + CRC, a bounded source replay buffer, duplicate
+    #: suppression and ack/NACK-driven re-delivery.
+    retransmission: bool = False
+    #: Cycles without an ack before the first retransmission of a packet.
+    #: The clock starts at ``Network.send``, so the window must cover the
+    #: source NI queueing delay + fabric traversal + the ack's return trip
+    #: under congestion (p99 one-way latency at campaign loads is ~800
+    #: cycles, and the ack+retransmit load feeds back into it); too small
+    #: a value turns ordinary queueing into a retransmit storm of
+    #: duplicates.  At 4096 a fault-free campaign retransmits nothing.
+    retx_timeout: int = 4096
+    #: Retransmission attempts per packet before it is abandoned to the
+    #: integrity layer's loss detection.
+    retx_max_retries: int = 8
+    #: Cap on the exponential backoff multiplier (timeout, 2x, 4x, ...).
+    retx_backoff_cap: int = 8
+    #: Max simultaneously outstanding retransmissions per flow (bounds a
+    #: retransmit storm; further due entries wait for the next deadline).
+    retx_inflight_cap: int = 4
+    #: Unacked packets retained per flow in the source replay buffer;
+    #: beyond this the oldest entry is evicted (and counted).
+    retx_window: int = 32
+    #: Invariant-monitor check interval in cycles; 0 disables the monitor
+    #: (the default — no component is registered, digests unchanged).
+    invariant_interval: int = 0
+    #: Consecutive no-progress checks before a VC is declared stalled.
+    invariant_patience: int = 8
+    #: When the monitor finds a stalled VC: squash it and requeue the
+    #: victim through the retransmission path (needs ``retransmission``)
+    #: instead of raising :class:`InvariantViolation`.
+    invariant_recovery: bool = False
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -69,6 +103,30 @@ class NocConfig:
             raise ValueError("concentration must be at least 1")
         if self.max_line_bytes < 1:
             raise ValueError("max_line_bytes must be positive")
+        if self.retx_timeout < 1:
+            raise ValueError("retx_timeout must be at least 1 cycle")
+        if self.retx_max_retries < 1:
+            raise ValueError("retx_max_retries must be at least 1")
+        if self.retx_backoff_cap < 1:
+            raise ValueError("retx_backoff_cap must be at least 1")
+        if self.retx_inflight_cap < 1:
+            raise ValueError("retx_inflight_cap must be at least 1")
+        if self.retx_window < 1:
+            raise ValueError("retx_window must be at least 1")
+        if self.invariant_interval < 0:
+            raise ValueError("invariant_interval must be >= 0 (0 disables)")
+        if self.invariant_patience < 1:
+            raise ValueError("invariant_patience must be at least 1")
+        if self.invariant_recovery and not self.retransmission:
+            raise ValueError(
+                "invariant_recovery requeues victims through the "
+                "retransmission path; enable retransmission too"
+            )
+        if self.invariant_recovery and self.invariant_interval == 0:
+            raise ValueError(
+                "invariant_recovery needs the monitor: set "
+                "invariant_interval > 0"
+            )
         if self.topology not in TOPOLOGY_NAMES:
             raise ValueError(
                 f"unknown topology {self.topology!r}; "

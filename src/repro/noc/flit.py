@@ -24,15 +24,23 @@ _packet_ids = itertools.count()
 
 
 class PacketType(enum.Enum):
-    """The three packet classes of a cache-coherent CMP (§3.3-C)."""
+    """The three packet classes of a cache-coherent CMP (§3.3-C), plus the
+    single-flit ``ACK`` used by the NI retransmission protocol
+    (:mod:`repro.noc.reliability`).  Acks are *terminal* — they are consumed
+    by the destination NI's reliability endpoint and never generate further
+    traffic — so they may safely share the response vnet without creating a
+    protocol-deadlock cycle."""
 
     REQUEST = "request"
     RESPONSE = "response"
     COHERENCE = "coherence"
+    ACK = "ack"
 
     @property
     def vnet(self) -> int:
-        return VNET_RESPONSE if self is PacketType.RESPONSE else VNET_REQUEST
+        if self in (PacketType.RESPONSE, PacketType.ACK):
+            return VNET_RESPONSE
+        return VNET_REQUEST
 
 
 class Packet:
@@ -70,6 +78,9 @@ class Packet:
         "compressed_at_hop",
         "decompressed_at_hop",
         "hops_traversed",
+        "seq",
+        "crc",
+        "retransmissions",
     )
 
     def __init__(
@@ -108,6 +119,14 @@ class Packet:
         self.compressed_at_hop = -1
         self.decompressed_at_hop = -1
         self.hops_traversed = 0
+        #: Per-(src, dst, vnet) sequence number stamped by the reliability
+        #: layer at send (-1 when retransmission is off or traffic is local).
+        self.seq = -1
+        #: CRC-32 of the payload at send time (None when unprotected); the
+        #: destination NI recomputes it before accepting a delivery.
+        self.crc: Optional[int] = None
+        #: How many times the reliability layer re-sent this packet.
+        self.retransmissions = 0
         if is_compressed and compressed is None:
             raise ValueError("is_compressed requires a compressed payload")
         self.size_flits = self._current_size()

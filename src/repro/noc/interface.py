@@ -44,15 +44,22 @@ class NetworkInterface:
 
     # -- injection -----------------------------------------------------------
     def inject(self, packet: Packet) -> None:
-        """Queue a packet for injection (applies the inject transform)."""
+        """Queue a packet for injection (applies the inject transform).
+
+        Every injection *attempt* counts toward ``packets_injected`` — a
+        packet an injected fault drops at the NI is still an attempt, and
+        the drop itself lands in ``degraded.packets_dropped``, so
+        ``injected == ejected + dropped + still-in-network`` holds whether
+        or not faults fire (drain-time reasoning relies on it).
+        """
         now = self.network.cycle
+        self.network.stats.packets_injected += 1
         faults = self.network.faults
         if faults is not None and faults.drop_at_ni(now, self.node, packet):
             return  # injected fault: the packet vanishes before queueing
         packet.injected_cycle = now
         extra = self.network.inject_transform(self.node, packet)
         self._queues[packet.ptype.vnet].append((now + extra, packet))
-        self.network.stats.packets_injected += 1
 
     def has_work(self) -> bool:
         if self._pending_delivery:
@@ -69,6 +76,29 @@ class NetworkInterface:
         self._deliver_pending()
         for vnet in range(self.config.vnets):
             self._advance_stream(vnet)
+
+    def cancel_packet(self, packet: Packet) -> bool:
+        """Remove a packet from the injection queues / an open stream.
+
+        Squash support for :mod:`repro.noc.reliability`: flits already
+        streamed into the local VC are reclaimed by the VC squash; this
+        only cancels state the NI itself still holds.  Returns True when
+        anything was removed.
+        """
+        cancelled = False
+        for vnet, queue in enumerate(self._queues):
+            kept = [(ready, p) for ready, p in queue if p is not packet]
+            if len(kept) != len(queue):
+                self._queues[vnet] = deque(kept)
+                cancelled = True
+        for vnet, stream in enumerate(self._streaming):
+            if stream is not None and stream[0] is packet:
+                vc = stream[1]
+                if vc.packet is None and vc.reserved:
+                    vc.reserved = False  # head never entered the VC
+                self._streaming[vnet] = None
+                cancelled = True
+        return cancelled
 
     def describe_backlog(self) -> str:
         """One-line queue/stream summary for wedge snapshots."""

@@ -38,9 +38,10 @@ from repro.noc.config import NocConfig
 from repro.noc.flit import Packet
 from repro.noc.interface import NetworkInterface
 from repro.noc.router import InputVC, Router
+from repro.noc.reliability import InvariantMonitor, ReliabilityLayer
 from repro.noc.stats import NetworkStats
 from repro.sim import CallbackComponent, SimKernel
-from repro.sim.stats import DegradedStats
+from repro.sim.stats import DegradedStats, RecoveredStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.controller import FaultController
@@ -88,6 +89,40 @@ class ArrivalQueue:
     def pending(self) -> int:
         """Total flits still in flight on links."""
         return sum(len(batch) for batch in self._due.values())
+
+    def in_flight_counts(self) -> Dict[InputVC, int]:
+        """In-flight flit count per target VC (the invariant monitor
+        checks these against each VC's ``incoming`` credit view)."""
+        counts: Dict[InputVC, int] = {}
+        for batch in self._due.values():
+            for target_vc, _packet, _head, _tail in batch:
+                counts[target_vc] = counts.get(target_vc, 0) + 1
+        return counts
+
+    def purge_packet(self, packet: Packet) -> int:
+        """Remove every in-flight flit of ``packet`` (squash support).
+
+        Decrements the target VCs' ``incoming`` credits so flow control
+        stays conserved; returns the flit count removed.
+        """
+        removed = 0
+        for due_cycle in list(self._due):
+            batch = self._due[due_cycle]
+            kept = []
+            for item in batch:
+                target_vc, arriving, _is_head, _is_tail = item
+                if arriving is packet:
+                    if target_vc.incoming > 0:
+                        target_vc.incoming -= 1
+                    removed += 1
+                else:
+                    kept.append(item)
+            if len(kept) != len(batch):
+                if kept:
+                    self._due[due_cycle] = kept
+                else:
+                    del self._due[due_cycle]
+        return removed
 
     def tick(self, cycle: int) -> None:
         arrivals = self._due.pop(cycle, None)
@@ -179,6 +214,16 @@ class Network:
         #: ``degraded`` stat group so snapshots are layout-stable whether
         #: or not a fault plan is attached.
         self.degraded = DegradedStats()
+        #: Recovered-fault counters (:mod:`repro.noc.reliability`).  The
+        #: object always exists (cheap hook sites), but the ``recovered``
+        #: stat group is only registered when the reliability layer or the
+        #: invariant monitor is enabled — the golden default-mesh snapshot
+        #: layout is unchanged otherwise.
+        self.recovered = RecoveredStats()
+        #: NI retransmission protocol (``config.retransmission``).
+        self.reliability: Optional[ReliabilityLayer] = None
+        #: Runtime invariant monitor (``config.invariant_interval > 0``).
+        self.monitor: Optional[InvariantMonitor] = None
         # Scheme hooks (see module docstring).
         self.inject_transform: Callable[[int, Packet], int] = _default_inject
         self.eject_transform: Callable[[int, Packet], int] = _default_eject
@@ -197,8 +242,22 @@ class Network:
         for ni in self.nis:
             kernel.register(ni, phase="net.nis")
         kernel.register(self.local_deliveries, phase="net.delivery")
+        config = self.config
+        if config.retransmission:
+            self.reliability = ReliabilityLayer(self)
+            kernel.register(self.reliability, phase="net.reliability")
+        if config.invariant_interval > 0:
+            self.monitor = InvariantMonitor(
+                self,
+                interval=config.invariant_interval,
+                patience=config.invariant_patience,
+                recover=config.invariant_recovery,
+            )
+            kernel.register(self.monitor, phase="net.monitor")
         kernel.stats.register("network", self._network_counters)
         kernel.stats.register("degraded", self.degraded.counters)
+        if self.reliability is not None or self.monitor is not None:
+            kernel.stats.register("recovered", self.recovered.counters)
 
     def _frame_start(self, cycle: int) -> None:
         self.stats.cycles = cycle
@@ -269,6 +328,10 @@ class Network:
             raise ValueError(f"bad source node {packet.src}")
         if not 0 <= packet.dst < self.topology.n_nodes:
             raise ValueError(f"bad destination node {packet.dst}")
+        if self.reliability is not None:
+            # Stamp seq + CRC and record the replay copy first, so the
+            # integrity fingerprint below sees the protocol-complete packet.
+            self.reliability.on_send(self.cycle, packet)
         if self.faults is not None:
             # Integrity hook: fingerprint the payload before the packet can
             # be touched by the network (or by an injected fault).
@@ -307,6 +370,14 @@ class Network:
             self.nis[node].complete_ejection(packet)
 
     def deliver(self, node: int, packet: Packet) -> None:
+        if self.reliability is not None and not self.reliability.on_deliver(
+            self.cycle, node, packet
+        ):
+            # The reliability endpoint consumed it: an ack/NACK, a
+            # suppressed duplicate, or a CRC-rejected delivery awaiting a
+            # bit-exact retransmission.  Neither the integrity check nor
+            # the endpoint handler ever sees a bad or repeated payload.
+            return
         if self.faults is not None:
             # Integrity hook: verify the payload survived compress →
             # traverse → decompress byte-identically before the endpoint
@@ -325,6 +396,11 @@ class Network:
         if self.arrival_queue.has_work() or self.local_deliveries.has_work():
             return False
         if any(router.has_work() for router in self.routers):
+            return False
+        if self.reliability is not None and self.reliability.has_work():
+            # Unacked replay entries still have deadlines pending: the
+            # drain must keep ticking so a dropped packet retransmits
+            # instead of stranding the run in a false quiescent state.
             return False
         return not any(ni.has_work() for ni in self.nis)
 

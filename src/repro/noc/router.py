@@ -128,6 +128,28 @@ class InputVC:
         self.flits_present += 1
         self.flits_received += 1
 
+    def force_release(self) -> int:
+        """Squash-evict whatever packet state this VC holds.
+
+        Recovery path of :mod:`repro.noc.reliability`: the invariant
+        monitor empties every VC along a stalled packet's wormhole chain
+        and requeues a pristine copy through the retransmission path.
+        Returns the buffered flit count removed (the caller accounts for
+        it in ``recovered.flits_squashed``).  Clears a fault-injected
+        wedge so the repaired VC is immediately usable, and releases a
+        downstream reservation whose head flit will now never arrive.
+        The caller must purge in-flight arrivals targeting this VC (and
+        decrement ``incoming``) *before* calling.
+        """
+        removed = self.flits_present
+        target = self.out_vc
+        if target is not None and target.packet is None and target.reserved:
+            target.reserved = False
+        self.release()
+        self.reserved = False
+        self.wedged_until = -1
+        return removed
+
     def release(self) -> None:
         """Free the VC after the tail flit has left."""
         self.packet = None

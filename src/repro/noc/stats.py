@@ -35,6 +35,10 @@ class NetworkStats:
     aborted_jobs: int = 0
     incompressible: int = 0
     flits_saved: int = 0
+    #: Flits re-added to buffers by in-network decompression (the inverse
+    #: of ``flits_saved``; the invariant monitor's flit-conservation check
+    #: balances the two against injected/ejected/squashed totals).
+    flits_restored: int = 0
     ni_compressions: int = 0
     ni_decompressions: int = 0
     eject_decompress_stall_cycles: int = 0

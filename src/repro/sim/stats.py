@@ -63,6 +63,67 @@ class DegradedStats:
         }
 
 
+@dataclass
+class RecoveredStats:
+    """Recovered-fault counters (the ``recovered`` stat group).
+
+    Populated by the reliability layer (:mod:`repro.noc.reliability`).
+    Unlike ``degraded``, the group is only registered when retransmission
+    or the invariant monitor is enabled — the default fabric carries no
+    reliability machinery, so the golden default-mesh snapshots keep their
+    pre-reliability layout bit-identically.
+    """
+
+    #: Data/control packets re-sent by the source NI replay buffer
+    #: (timeout-, NACK-, or invariant-recovery-driven).
+    retransmissions: int = 0
+    #: Deliveries suppressed at the destination as already-seen sequence
+    #: numbers (a retransmitted copy raced the original).
+    duplicates_dropped: int = 0
+    #: Deliveries rejected at the destination because the payload CRC no
+    #: longer matched the send-time CRC (corruption caught before the
+    #: endpoint could consume it; a NACK triggers re-delivery).
+    crc_rejections: int = 0
+    #: Cumulative acks injected by destination NIs.
+    acks_sent: int = 0
+    #: NACKs injected in response to CRC rejections.
+    nacks_sent: int = 0
+    #: Packets eventually delivered bit-exact *after* at least one
+    #: retransmission or CRC rejection.
+    recovered_packets: int = 0
+    #: Sum over recovered packets of (delivery cycle - first send cycle);
+    #: divide by ``recovered_packets`` for the mean recovery latency.
+    recovery_latency_cycles: int = 0
+    #: Wedged/stalled VCs squashed by the invariant monitor with their
+    #: victim packet requeued through the retransmission path.
+    invariant_recoveries: int = 0
+    #: Buffered/in-flight flits removed from the fabric by a squash (the
+    #: invariant monitor's flit-conservation check accounts for these).
+    flits_squashed: int = 0
+    #: Replay-buffer entries evicted by the per-flow window bound before
+    #: an ack arrived (those packets are no longer recoverable).
+    replay_evictions: int = 0
+    #: Packets abandoned after the retry cap (left to the integrity
+    #: layer's loss detection — a detected outcome, never silent).
+    retries_exhausted: int = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Registry-provider view of the group."""
+        return {
+            "retransmissions": self.retransmissions,
+            "duplicates_dropped": self.duplicates_dropped,
+            "crc_rejections": self.crc_rejections,
+            "acks_sent": self.acks_sent,
+            "nacks_sent": self.nacks_sent,
+            "recovered_packets": self.recovered_packets,
+            "recovery_latency_cycles": self.recovery_latency_cycles,
+            "invariant_recoveries": self.invariant_recoveries,
+            "flits_squashed": self.flits_squashed,
+            "replay_evictions": self.replay_evictions,
+            "retries_exhausted": self.retries_exhausted,
+        }
+
+
 class CounterSnapshot(Mapping[str, Dict[str, float]]):
     """An immutable sample of every registered counter group."""
 

@@ -13,10 +13,12 @@ torus entry), since the zero-silent contract must hold on any topology.
 
 import dataclasses
 import os
+import re
 
 import pytest
 
 from repro.faults import (
+    FAULT_KINDS,
     PERMANENT,
     CampaignSpec,
     FaultController,
@@ -172,7 +174,9 @@ class TestScheduledFaults:
         assert delivered == []  # the NI swallowed it
         assert network.degraded.packets_dropped == 1
         counts = controller.reconcile(network.cycle)
-        assert counts == {"detected": 1, "degraded": 0, "silent": 0}
+        assert counts == {
+            "detected": 1, "degraded": 0, "recovered": 0, "silent": 0,
+        }
         assert controller.checker.violations[0].reason == "lost"
         assert controller.checker.violations[0].pid == packet.pid
 
@@ -296,6 +300,120 @@ class TestZeroFaultBitIdentity:
         for (pid_a, line_a), (pid_b, line_b) in zip(bare[2], inert[2]):
             assert pid_b - pid_a == offset
             assert line_a == line_b
+
+
+class TestWedgeDiagnostics:
+    """The wedge snapshot stays machine-parseable under every fault kind.
+
+    Recovery tooling is only as good as its diagnostics: these tests
+    regex-parse the snapshot line formats (header, flight counts, router
+    occupancy with held-packet details, NI backlogs) so a format drift
+    that would break triage scripts fails here, not in an incident.
+    """
+
+    HEADER = re.compile(r"--- wedge snapshot @ cycle \d+ ---")
+    FLIGHT = re.compile(
+        r"link flits in flight: \d+; local deliveries pending: \d+"
+    )
+    ROUTER = re.compile(
+        r"router (\d+): (\d+) flits buffered, (\d+) incoming; (.+)"
+    )
+    NI = re.compile(
+        r"NI (\d+): (\d+) packets queued, (\d+) streams open, "
+        r"(\d+) ejections pending"
+    )
+    HELD = re.compile(
+        r"[a-z]\w*/vc\d+:(?:REQUEST|RESPONSE|COHERENCE|ACK)"
+        r"\(\d+->\d+, \d+/\d+ sent, state=\d+"
+        r"(?:, wedged_until=\d+)?(?:, credit_debt=\d+)?\)"
+    )
+    CREDIT_DETAIL = re.compile(
+        r"port\d+/vc\d+ -\d+ credits until cycle \d+"
+    )
+    WEDGE_DETAIL = re.compile(
+        r"port\d+/vc\d+ held (?:forever|until cycle \d+)"
+    )
+
+    SCENARIOS = {
+        "payload": ScheduledFault(cycle=5, kind="payload"),
+        "credit": ScheduledFault(cycle=40, kind="credit", node=5,
+                                 duration=10_000),
+        "engine": ScheduledFault(cycle=10, kind="engine", flavor="stall"),
+        "drop": ScheduledFault(cycle=5, kind="drop"),
+        "wedge": ScheduledFault(cycle=40, kind="wedge", duration=PERMANENT),
+    }
+
+    def _assert_parses(self, snapshot: str) -> None:
+        lines = snapshot.splitlines()
+        assert self.HEADER.fullmatch(lines[0]), lines[0]
+        assert self.FLIGHT.fullmatch(lines[1]), lines[1]
+        for line in lines[2:]:
+            if line.startswith("router "):
+                match = self.ROUTER.fullmatch(line)
+                assert match, line
+                held = match.group(4)
+                if held != "no packet bound":
+                    # Every held-packet entry matches the VC grammar; no
+                    # unparseable residue besides the separators.
+                    assert self.HELD.search(held), held
+                    assert self.HELD.sub("", held).strip(", ") == "", held
+            elif line.startswith("NI "):
+                assert self.NI.fullmatch(line), line
+            else:
+                assert line == (
+                    "(no component holds state - clean quiescence)"
+                ), line
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_snapshot_parseable_under_each_fault_kind(self, kind):
+        network = build_campaign_network(campaign_spec())
+        controller = FaultController(
+            FaultPlan(seed=FAULT_SEED, scheduled=(self.SCENARIOS[kind],)),
+            raise_on_violation=False,
+        )
+        network.attach_faults(controller)
+        traffic = SyntheticTraffic(
+            network, TrafficConfig(injection_rate=0.06, seed=1)
+        )
+        traffic.run(200, drain=False)
+        assert controller.by_kind.get(kind), (
+            f"{kind} fault never fired: {controller.by_kind}"
+        )
+        snapshot = network.wedge_snapshot()  # mid-flight, fabric busy
+        self._assert_parses(snapshot)
+        assert "router " in snapshot or "NI " in snapshot
+        if kind == "wedge":
+            assert "wedged_until=" in snapshot
+            assert self.WEDGE_DETAIL.search(controller.events[0].detail)
+        if kind == "credit":
+            assert self.CREDIT_DETAIL.fullmatch(controller.events[0].detail)
+
+    def test_ni_backlog_renders_before_first_tick(self):
+        network, _ = _baseline_network()
+        for _ in range(6):
+            network.send(data_packet(src=0, dst=15))
+        snapshot = network.wedge_snapshot()
+        self._assert_parses(snapshot)
+        assert re.search(r"NI 0: 6 packets queued", snapshot)
+
+    def test_credit_debt_renders_on_a_held_vc(self):
+        network, _ = _baseline_network()
+        packet = data_packet(src=0, dst=15)
+        network.send(packet)
+        for _ in range(4):
+            network.tick()
+        vc = next(
+            vc
+            for router in network.routers
+            for vc in router.all_vcs
+            if vc.packet is packet
+        )
+        vc.credit_debt += 2
+        snapshot = network.wedge_snapshot()
+        self._assert_parses(snapshot)
+        assert "credit_debt=2" in snapshot
+        vc.credit_debt -= 2
+        network.run_until_quiescent(max_cycles=500)
 
 
 class TestFaultCampaign:

@@ -44,6 +44,7 @@ def _fresh_caches(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.delenv("REPRO_RUNNER_FAULT", raising=False)
     monkeypatch.delenv("REPRO_SPEC_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_RETRY_BACKOFF", raising=False)
     monkeypatch.setattr(runner, "_JOBS_WARNED", False)
     clear_cache()
     yield
@@ -365,6 +366,38 @@ class TestFailureContainment:
             run_specs(self.SPECS, jobs=1)
         assert len(excinfo.value.completed) == 2
         assert [s.workload for s in excinfo.value.failures] == ["dedup"]
+
+    def test_persistent_crash_reports_first_attempt_reason(
+        self, monkeypatch
+    ):
+        # Both attempts crash: the error must carry the retry's exception
+        # in ``failures`` AND name the first attempt's, so flaky-then-
+        # fatal sequences are triageable from the message alone.
+        monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:disco:dedup")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        with pytest.raises(RunnerError) as excinfo:
+            run_specs(self.SPECS, jobs=3)
+        error = excinfo.value
+        [failed] = list(error.failures)
+        assert failed.workload == "dedup"
+        assert isinstance(error.prior.get(failed), RuntimeError)
+        assert "first attempt:" in str(error)
+        assert "injected runner fault" in str(error)
+
+
+class TestRetryBackoff:
+    def test_disabled_by_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        assert runner._retry_backoff() == 0.0
+
+    def test_jitter_stays_within_half_to_one_and_a_half(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.2")
+        for _ in range(20):
+            assert 0.1 <= runner._retry_backoff() <= 0.3
+
+    def test_unparseable_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "soon-ish")
+        assert 0.05 <= runner._retry_backoff() <= 0.15
 
 
 def test_cache_dir_override(tmp_path, monkeypatch):
