@@ -4,19 +4,41 @@ Paper: DISCO beats CC by ~12 % and CNC by ~10.1 % on average.  The shape
 assertions check orderings and ballpark factors, not absolute numbers.
 """
 
-from common import save_and_print, BENCH_ACCESSES, BENCH_WORKLOADS, once
+import time
+
+from common import (
+    BENCH_ACCESSES,
+    BENCH_WORKLOADS,
+    once,
+    save_and_print,
+    save_json,
+)
 
 from repro.experiments.fig5 import fig5, render
 
 
 def test_fig5(benchmark):
+    start = time.perf_counter()
     result = once(
         benchmark,
         lambda: fig5(
             workloads=BENCH_WORKLOADS, accesses_per_core=BENCH_ACCESSES
         ),
     )
+    wall = time.perf_counter() - start
     save_and_print('fig5', render(result))
+    save_json(
+        'BENCH_fig5',
+        {
+            "wall_seconds": round(wall, 3),
+            "workloads": result.workloads,
+            "accesses_per_core": BENCH_ACCESSES,
+            "normalized": result.normalized,
+            "average": result.average,
+            "disco_vs_cc": result.improvement_of_disco_over("cc"),
+            "disco_vs_cnc": result.improvement_of_disco_over("cnc"),
+        },
+    )
     avg = result.average
     # DISCO outperforms CC on average (paper: ~12%).
     assert avg["disco"] < avg["cc"]

@@ -78,6 +78,22 @@ def once(benchmark, fn):
     return result
 
 
+def save_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable result under ``bench_results/``.
+
+    Companion to :func:`save_and_print`: the ``.txt`` tables are for
+    humans, these ``.json`` files are for tooling (regression diffing,
+    the telemetry smoke job's artifacts).  Returns the written path.
+    """
+    out_dir = _results_dir()
+    suffix = "_full" if FULL else ""
+    path = os.path.join(out_dir, f"{name}{suffix}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def save_and_print(name: str, text: str) -> None:
     """Print a rendered table and persist it under ``bench_results/``.
 

@@ -33,6 +33,7 @@ from repro.noc.flit import Packet
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
 from repro.sim import CounterSnapshot, SimKernel
+from repro.telemetry.profiler import RunProfile, profile_from_kernel
 from repro.workloads.trace import TraceSet
 
 #: Abort threshold: cycles without any core finishing progress.
@@ -66,6 +67,13 @@ class SimulationResult:
     measure_start_cycle: int = 0
     snapshot_full: CounterSnapshot = field(default_factory=CounterSnapshot)
     snapshot_measured: CounterSnapshot = field(default_factory=CounterSnapshot)
+    #: Observability payload (:mod:`repro.telemetry`): sampler windows and
+    #: raw trace events as plain dicts, when the run had telemetry on.
+    #: ``None`` by default — excluded from digests, picklable for the
+    #: runner's process pool and disk cache.
+    telemetry: Optional[Dict] = None
+    #: Per-component wall-clock attribution, when the run was profiled.
+    profile: Optional[RunProfile] = None
 
     # -- registry views ------------------------------------------------------
     @property
@@ -600,6 +608,43 @@ class CmpSystem:
         self.network.cycle = next_interesting - 1
 
     # -- results ---------------------------------------------------------------------
+    def _collect_telemetry(self) -> Optional[Dict]:
+        """Plain-data telemetry payload for :class:`SimulationResult`.
+
+        ``None`` when no telemetry knob was on — results (and the disk
+        cache envelope) are byte-identical to pre-telemetry runs.
+        """
+        sampler = self.network.sampler
+        tracer = self.network.tracer
+        if sampler is None and tracer is None:
+            return None
+        payload: Dict = {}
+        if sampler is not None:
+            payload["windows"] = sampler.to_dicts()
+            payload["windows_evicted"] = self.network.telemetry.windows_evicted
+        if tracer is not None:
+            # Packet pids come from a process-global counter, so their
+            # absolute values depend on what ran earlier in the process.
+            # Remap to dense run-local ids (order of first appearance is
+            # deterministic) so the payload — and with it the disk-cache
+            # envelope and pool-vs-serial results — is run-reproducible.
+            local_ids: Dict[int, int] = {}
+            events = []
+            for event in tracer.events:
+                record = event.to_dict()
+                record["pid"] = local_ids.setdefault(
+                    event.pid, len(local_ids)
+                )
+                events.append(record)
+            payload["trace"] = {
+                "sample_interval": tracer.sample_interval,
+                "event_cap": tracer.event_cap,
+                "packets_traced": tracer.stats.packets_traced,
+                "events_dropped": tracer.dropped,
+                "events": events,
+            }
+        return payload
+
     def _collect(self) -> SimulationResult:
         total_latency = sum(
             t.core.stats.total_miss_latency for t in self.tiles
@@ -617,6 +662,12 @@ class CmpSystem:
         else:
             measured = full
         return SimulationResult(
+            telemetry=self._collect_telemetry(),
+            profile=(
+                profile_from_kernel(self.kernel)
+                if self.kernel.component_timing_enabled
+                else None
+            ),
             scheme=self.scheme.name,
             algorithm=self.scheme.algorithm_name,
             workload=self.traces.profile.name,

@@ -145,6 +145,9 @@ class DiscoCompressorEngine:
             )
         self.jobs.append(job)
         vc.engine_job = job
+        tracer = self.router.network.tracer
+        if tracer is not None:
+            tracer.on_engine(cycle, packet, self.router.node, mode, "start")
         return job
 
     def abort(self, vc: "InputVC") -> None:
@@ -157,6 +160,15 @@ class DiscoCompressorEngine:
         job.valid = False
         vc.engine_job = None
         self.router.network.stats.aborted_jobs += 1
+        tracer = self.router.network.tracer
+        if tracer is not None and job.packet is not None:
+            tracer.on_engine(
+                self.router.network.cycle,
+                job.packet,
+                self.router.node,
+                job.mode,
+                "abort",
+            )
 
     # -- per-cycle progress -------------------------------------------------------
     def tick(self, cycle: int) -> None:
@@ -191,9 +203,13 @@ class DiscoCompressorEngine:
             if action == "bitflip":
                 self._complete_degraded(job)
                 vc.engine_job = None
+                self._trace_engine(job, cycle, "degraded")
                 return True
         if job.separate:
-            return self._advance_streaming(job)
+            done = self._advance_streaming(job)
+            if done:
+                self._trace_engine(job, cycle, "end")
+            return done
         if vc.flits_received < packet.size_flits:  # pragma: no cover
             raise RuntimeError("whole-packet job started on partial packet")
         if job.mode == JOB_COMPRESS:
@@ -201,7 +217,16 @@ class DiscoCompressorEngine:
         else:
             self._complete_decompression(job)
         vc.engine_job = None
+        self._trace_engine(job, cycle, "end")
         return True
+
+    def _trace_engine(self, job: EngineJob, cycle: int, what: str) -> None:
+        """Lifecycle hook: job outcome (telemetry tracer, when attached)."""
+        tracer = self.router.network.tracer
+        if tracer is not None and job.packet is not None:
+            tracer.on_engine(
+                cycle, job.packet, self.router.node, job.mode, what
+            )
 
     # -- streaming (separate) compression ------------------------------------
     def _advance_streaming(self, job: EngineJob) -> bool:

@@ -28,6 +28,62 @@ def geomean(values: Iterable[float]) -> float:
     return product ** (1.0 / len(values))
 
 
+def render_heatmap(
+    counts: Mapping[int, int],
+    width: int,
+    height: int,
+    title: str = "",
+) -> str:
+    """Per-node activity grid (row-major node ids, origin top-left).
+
+    ``counts`` is sparse — typically ``node_hop_counts`` from a packet
+    trace (:func:`repro.telemetry.export.node_hop_counts`); nodes with no
+    events render as 0, so a cold router is visible, not absent.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("heatmap dimensions must be >= 1")
+    cells = [
+        [counts.get(y * width + x, 0) for x in range(width)]
+        for y in range(height)
+    ]
+    cell_width = max(
+        len(str(value)) for row in cells for value in row
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in cells:
+        lines.append(
+            "  ".join(str(value).rjust(cell_width) for value in row)
+        )
+    peak = max(max(row) for row in cells)
+    total = sum(sum(row) for row in cells)
+    lines.append(f"(total {total}, peak {peak})")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    value_header: str = "count",
+    bar_width: int = 40,
+) -> str:
+    """(label, count) rows as a table with proportional ASCII bars.
+
+    The shape ``latency_histogram`` (repro.telemetry.export) produces;
+    any (label, non-negative count) pairs work.
+    """
+    counts = [int(row[1]) for row in rows]
+    peak = max(counts) if counts else 0
+    table_rows = []
+    for (label, _), count in zip(rows, counts):
+        bar = "#" * round(bar_width * count / peak) if peak else ""
+        table_rows.append([label, count, bar])
+    return format_table(
+        ["bin", value_header, ""], table_rows, title=title
+    )
+
+
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],

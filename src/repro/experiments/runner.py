@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import random
@@ -52,8 +53,19 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.cmp.config import SystemConfig
 from repro.cmp.schemes import make_scheme
 from repro.cmp.system import CmpSystem, SimulationResult
+from repro.telemetry.log import ensure_level, get_logger
+from repro.telemetry.profiler import (
+    RunProfile,
+    merge_profiles,
+    render_profile,
+    write_profile,
+)
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import generate_traces
+
+#: Structured runner log (stdlib logging under the ``repro`` tree; level
+#: from ``REPRO_LOG_LEVEL``, raised to INFO by ``verbose=True`` calls).
+_LOG = get_logger("repro.runner")
 
 #: Benchmarks used by the figure experiments (a PARSEC subset keeps the
 #: pure-Python cycle-level runs tractable; pass ``workloads=...`` to the
@@ -160,6 +172,19 @@ class RunSpec:
     #: Fabric shape ("mesh", "torus", "ring", "cmesh"); non-mesh fabrics
     #: get the escape VCs their default routing needs.
     topology: str = "mesh"
+    # -- telemetry knobs (repro.telemetry; all off by default — they are
+    # part of the spec key, so a traced run never aliases an untraced
+    # cached result) -----------------------------------------------------
+    #: Time-series sampler interval in cycles (0 = off).
+    stats_interval: int = 0
+    #: Per-packet lifecycle tracing (events land in ``result.telemetry``).
+    trace_packets: bool = False
+    #: Trace every Nth injected packet (1 = every packet).
+    trace_sample_interval: int = 1
+    #: Per-component wall-clock profiling of the simulator; the profile
+    #: rides in ``result.profile`` (named ``profile_run`` because
+    #: :meth:`profile` already names the workload profile accessor).
+    profile_run: bool = False
 
     def noc_config(self) -> "NocConfig":
         from repro.noc.config import NocConfig
@@ -171,6 +196,9 @@ class RunSpec:
             height=self.height,
             topology=self.topology,
             vcs_per_vnet=vcs,
+            stats_interval=self.stats_interval,
+            trace_packets=self.trace_packets,
+            trace_sample_interval=self.trace_sample_interval,
         )
 
     def config(self) -> SystemConfig:
@@ -407,10 +435,28 @@ def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
         config, scheme, traces, warmup_fraction=spec.warmup_fraction
     )
     _train_if_needed(system, spec)
+    if spec.profile_run:
+        system.kernel.enable_timing(per_component=True)
     if verbose:
-        print(f"running {spec.scheme}/{spec.algorithm} on {spec.workload} "
-              f"({spec.width}x{spec.height})...")
-    return system.run()
+        ensure_level(logging.INFO)
+    _LOG.info(
+        "[%s] running %s/%s on %s (%s %dx%d, seed %d)",
+        spec_key(spec)[:12],
+        spec.scheme,
+        spec.algorithm,
+        spec.workload,
+        spec.topology,
+        spec.width,
+        spec.height,
+        spec.seed,
+    )
+    start = time.perf_counter()
+    result = system.run()
+    if result.profile is not None:
+        # Stamp the end-to-end wall clock (simulate + collect) so the
+        # campaign aggregate can report cycles/second throughput.
+        result.profile.wall_seconds = time.perf_counter() - start
+    return result
 
 
 def _train_if_needed(system: CmpSystem, spec: RunSpec) -> None:
@@ -510,8 +556,20 @@ def _store(spec: RunSpec, result: SimulationResult, verbose: bool) -> None:
     _CACHE[spec] = result
     _disk_store(spec, result)
     if verbose:
-        print(f"finished {spec.scheme}/{spec.algorithm} on "
-              f"{spec.workload} ({spec.width}x{spec.height})")
+        ensure_level(logging.INFO)
+    _LOG.info(
+        "[%s] finished %s/%s on %s (%s %dx%d): %d cycles, "
+        "avg miss latency %.1f",
+        spec_key(spec)[:12],
+        spec.scheme,
+        spec.algorithm,
+        spec.workload,
+        spec.topology,
+        spec.width,
+        spec.height,
+        result.cycles,
+        result.avg_miss_latency,
+    )
 
 
 def _run_serial(
@@ -600,10 +658,46 @@ def _run_parallel(
         pool.shutdown(wait=not abandoned, cancel_futures=True)
 
 
+def _profile_destination(profile_out: Optional[str]) -> Optional[str]:
+    """Where the aggregated ``profile.json`` goes: the explicit argument,
+    else ``REPRO_PROFILE_OUT``, else nowhere."""
+    if profile_out is not None:
+        return profile_out
+    env = os.environ.get("REPRO_PROFILE_OUT", "").strip()
+    return env or None
+
+
+def _emit_profile(
+    results: Dict[RunSpec, SimulationResult],
+    profile_out: Optional[str],
+    verbose: bool,
+) -> Optional[RunProfile]:
+    """Aggregate per-run profiles and write ``profile.json`` if asked.
+
+    Only runs executed with ``profile_run=True`` carry a profile; a batch
+    with none is a silent no-op.  Cached results keep the profile of the
+    run that populated the cache (wall-clock is host-dependent anyway).
+    """
+    merged = merge_profiles(
+        [result.profile for result in results.values()]
+    )
+    if merged is None:
+        return None
+    if verbose:
+        ensure_level(logging.INFO)
+    _LOG.info("%s", render_profile(merged))
+    path = _profile_destination(profile_out)
+    if path:
+        write_profile(path, merged)
+        _LOG.info("profile written to %s", path)
+    return merged
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
     verbose: bool = False,
+    profile_out: Optional[str] = None,
 ) -> Dict[RunSpec, SimulationResult]:
     """Resolve a batch of specs, fanning cache misses out over processes.
 
@@ -637,6 +731,7 @@ def run_specs(
         else:
             misses.append(spec)
     if not misses:
+        _emit_profile(out, profile_out, verbose)
         return out
     failures: Dict[RunSpec, BaseException] = {}
     prior: Dict[RunSpec, BaseException] = {}
@@ -646,6 +741,9 @@ def run_specs(
         _run_serial(misses, out, failures, verbose)
     else:
         _run_parallel(misses, jobs, out, failures, verbose, prior)
+    # Aggregate profiles before any failure raise, so survivors of a
+    # partially-failed batch still land in profile.json.
+    _emit_profile(out, profile_out, verbose)
     if failures:
         raise RunnerError(failures, out, prior)
     return out

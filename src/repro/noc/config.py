@@ -85,6 +85,20 @@ class NocConfig:
     #: victim through the retransmission path (needs ``retransmission``)
     #: instead of raising :class:`InvariantViolation`.
     invariant_recovery: bool = False
+    # -- telemetry layer (repro.telemetry; all off by default so the
+    # Table 2 mesh stays bit-identical to the golden digests) ------------
+    #: Time-series sampling interval in cycles; 0 disables the sampler
+    #: (the default — no component is registered, digests unchanged).
+    stats_interval: int = 0
+    #: Ring-buffer capacity of the sampler: at most this many windows are
+    #: retained (oldest evicted first), bounding memory on long runs.
+    stats_window_cap: int = 256
+    #: Enable per-packet lifecycle tracing (repro.telemetry.tracer).
+    trace_packets: bool = False
+    #: Trace every Nth injected packet (1 = every packet).
+    trace_sample_interval: int = 1
+    #: Hard cap on recorded trace events; overflow is counted, not stored.
+    trace_event_cap: int = 200_000
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -117,6 +131,14 @@ class NocConfig:
             raise ValueError("invariant_interval must be >= 0 (0 disables)")
         if self.invariant_patience < 1:
             raise ValueError("invariant_patience must be at least 1")
+        if self.stats_interval < 0:
+            raise ValueError("stats_interval must be >= 0 (0 disables)")
+        if self.stats_window_cap < 1:
+            raise ValueError("stats_window_cap must be at least 1")
+        if self.trace_sample_interval < 1:
+            raise ValueError("trace_sample_interval must be at least 1")
+        if self.trace_event_cap < 1:
+            raise ValueError("trace_event_cap must be at least 1")
         if self.invariant_recovery and not self.retransmission:
             raise ValueError(
                 "invariant_recovery requeues victims through the "
@@ -154,6 +176,13 @@ class NocConfig:
                     f"packet length ({self.max_packet_flits} flits for "
                     f"{self.max_line_bytes}-byte lines)"
                 )
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """True when any observability knob is on (the ``telemetry`` stat
+        group is only registered — and snapshot layout only changes —
+        in that case)."""
+        return self.stats_interval > 0 or self.trace_packets
 
     @property
     def n_nodes(self) -> int:

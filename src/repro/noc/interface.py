@@ -54,8 +54,16 @@ class NetworkInterface:
         """
         now = self.network.cycle
         self.network.stats.packets_injected += 1
+        tracer = self.network.tracer
+        if tracer is not None:
+            # Lifecycle hook: the sampling decision is made here, so every
+            # injection attempt (first sends, retransmit clones, acks)
+            # counts toward the 1/N rate.
+            tracer.on_inject(now, packet, self.node)
         faults = self.network.faults
         if faults is not None and faults.drop_at_ni(now, self.node, packet):
+            if tracer is not None:
+                tracer.on_ni_drop(now, packet, self.node)
             return  # injected fault: the packet vanishes before queueing
         packet.injected_cycle = now
         extra = self.network.inject_transform(self.node, packet)
@@ -124,6 +132,12 @@ class NetworkInterface:
         vc.accept_flit(packet, is_head)
         self.network.stats.flits_injected += 1
         self.network.stats.buffer_writes += 1
+        if is_head and self.network.tracer is not None:
+            # Lifecycle hook: head flit entered the source router's local
+            # input VC (the packet's first hop).
+            self.network.tracer.on_hop(
+                self.network.cycle, packet, self.node, PORT_LOCAL, vc.vc_index
+            )
         sent += 1
         if sent == packet.size_flits:
             self._streaming[vnet] = None
@@ -184,4 +198,8 @@ class NetworkInterface:
         self.network.stats.record_ejection(
             packet.ptype.value, now - packet.injected_cycle
         )
+        if self.network.tracer is not None:
+            # Lifecycle hook: mirrors record_ejection exactly, so traced
+            # eject events (and packet spans) match ``packets_ejected``.
+            self.network.tracer.on_eject(now, packet, self.node)
         self.network.deliver(self.node, packet)

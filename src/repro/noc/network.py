@@ -41,7 +41,9 @@ from repro.noc.router import InputVC, Router
 from repro.noc.reliability import InvariantMonitor, ReliabilityLayer
 from repro.noc.stats import NetworkStats
 from repro.sim import CallbackComponent, SimKernel
-from repro.sim.stats import DegradedStats, RecoveredStats
+from repro.sim.stats import DegradedStats, RecoveredStats, TelemetryStats
+from repro.telemetry.sampler import TimeSeriesSampler
+from repro.telemetry.tracer import PacketTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.controller import FaultController
@@ -130,11 +132,21 @@ class ArrivalQueue:
             return
         stats = self.network.stats
         faults = self.network.faults
+        tracer = self.network.tracer
         for target_vc, packet, is_head, is_tail in arrivals:
             target_vc.accept_flit(packet, is_head)
             stats.buffer_writes += 1
             if is_head:
                 packet.hops_traversed += 1
+                if tracer is not None:
+                    # Lifecycle hook: head flit landed in a router VC.
+                    tracer.on_hop(
+                        cycle,
+                        packet,
+                        target_vc.router.node,
+                        target_vc.port,
+                        target_vc.vc_index,
+                    )
             if faults is not None:
                 # Link-traversal fault hook: payload corruption strikes a
                 # flit as it lands in the downstream buffer.
@@ -171,6 +183,8 @@ class LocalDeliveryQueue:
                 network.stats.record_ejection(
                     packet.ptype.value, cycle - packet.injected_cycle
                 )
+                if network.tracer is not None:
+                    network.tracer.on_eject(cycle, packet, packet.dst)
                 network.deliver(packet.dst, packet)
             else:
                 remaining.append((ready, packet))
@@ -224,6 +238,16 @@ class Network:
         self.reliability: Optional[ReliabilityLayer] = None
         #: Runtime invariant monitor (``config.invariant_interval > 0``).
         self.monitor: Optional[InvariantMonitor] = None
+        #: Observability counters (:mod:`repro.telemetry`).  The object
+        #: always exists, but the ``telemetry`` stat group is only
+        #: registered when a telemetry knob is on — snapshot layout (and
+        #: the golden digests) are unchanged otherwise.
+        self.telemetry = TelemetryStats()
+        #: Per-packet lifecycle tracer (``config.trace_packets``); ``None``
+        #: keeps every hook a cheap attribute test, mirroring ``faults``.
+        self.tracer: Optional[PacketTracer] = None
+        #: Time-series stats sampler (``config.stats_interval > 0``).
+        self.sampler: Optional[TimeSeriesSampler] = None
         # Scheme hooks (see module docstring).
         self.inject_transform: Callable[[int, Packet], int] = _default_inject
         self.eject_transform: Callable[[int, Packet], int] = _default_eject
@@ -258,6 +282,31 @@ class Network:
         kernel.stats.register("degraded", self.degraded.counters)
         if self.reliability is not None or self.monitor is not None:
             kernel.stats.register("recovered", self.recovered.counters)
+        if config.telemetry_enabled:
+            kernel.stats.register("telemetry", self.telemetry.counters)
+        if config.trace_packets:
+            self.tracer = PacketTracer(
+                sample_interval=config.trace_sample_interval,
+                event_cap=config.trace_event_cap,
+                stats=self.telemetry,
+            )
+            kernel.annotations["telemetry.tracer"] = (
+                f"1/{config.trace_sample_interval} packets, "
+                f"cap {config.trace_event_cap} events"
+            )
+        if config.stats_interval > 0:
+            self.sampler = TimeSeriesSampler(
+                kernel,
+                interval=config.stats_interval,
+                capacity=config.stats_window_cap,
+                stats=self.telemetry,
+            )
+            self.sampler.add_gauge("fabric_occupancy", self._fabric_occupancy)
+            kernel.register(self.sampler, phase="telemetry.sample")
+            kernel.annotations["telemetry.sampler"] = (
+                f"every {config.stats_interval} cycles, "
+                f"ring of {config.stats_window_cap} windows"
+            )
 
     def _frame_start(self, cycle: int) -> None:
         self.stats.cycles = cycle
@@ -269,6 +318,13 @@ class Network:
             # Per-cycle fault hook: scheduled faults fire, random
             # credit/wedge faults are sampled, stolen credits resync.
             self.faults.on_cycle(cycle, self)
+
+    def _fabric_occupancy(self) -> float:
+        """Buffered + in-flight flits across every router VC (the default
+        occupancy gauge of the telemetry sampler)."""
+        return float(
+            sum(vc.occupancy() for r in self.routers for vc in r.all_vcs)
+        )
 
     def _network_counters(self) -> Dict[str, int]:
         """The NoC's contribution to the kernel's stats registry (legacy
@@ -342,6 +398,8 @@ class Network:
             # ejection even for same-tile transfers).
             packet.injected_cycle = self.cycle
             self.stats.packets_injected += 1
+            if self.tracer is not None:
+                self.tracer.on_inject(self.cycle, packet, packet.src)
             delay = 1 + self.inject_transform(packet.src, packet)
             delay += self.eject_transform(packet.dst, packet)
             self.local_deliveries.schedule(self.cycle + delay, packet)

@@ -242,6 +242,10 @@ class ReliabilityLayer:
         entry.next_deadline = cycle + self.config.retx_timeout * backoff
         heapq.heappush(self._deadlines, (entry.next_deadline, flow, entry.seq))
         self.stats.retransmissions += 1
+        if self.network.tracer is not None:
+            # Lifecycle hook: recorded before the inject so the retx marker
+            # precedes the clone's inject event in the trace.
+            self.network.tracer.on_retransmit(cycle, clone, flow[0])
         self.network.nis[flow[0]].inject(clone)
 
     def _abandon(self, entry: ReplayEntry) -> None:
@@ -295,6 +299,8 @@ class ReliabilityLayer:
         flow = (packet.src, packet.dst, packet.ptype.vnet)
         if payload_crc(packet) != packet.crc:
             self.stats.crc_rejections += 1
+            if self.network.tracer is not None:
+                self.network.tracer.on_crc_reject(cycle, packet, node)
             entry = self._entries.get(flow, {}).get(packet.seq)
             if entry is not None:
                 entry.nacked = True
@@ -302,6 +308,8 @@ class ReliabilityLayer:
             return False
         if self._already_delivered(flow, packet.seq):
             self.stats.duplicates_dropped += 1
+            if self.network.tracer is not None:
+                self.network.tracer.on_duplicate(cycle, packet, node)
             # Re-ack: the earlier ack may itself have been lost.
             self._send_ack("ack", flow, packet.seq)
             return False

@@ -323,6 +323,13 @@ class Router:
         stats.sa_grants += 1
         is_head = vc.flits_sent == 1
         is_tail = vc.flits_sent == packet.size_flits
+        tracer = self.network.tracer
+        if tracer is not None:
+            cycle = self.network.cycle
+            if is_head:
+                tracer.on_switch_granted(cycle, packet, self.node, vc.out_port)
+            if is_tail:
+                tracer.on_tail_sent(cycle, packet, self.node, vc.out_port)
         if vc.out_port == PORT_LOCAL:
             self.network.eject_flit(self.node, packet, is_tail)
         else:
@@ -342,6 +349,7 @@ class Router:
 
     # .. stage 2a: VC allocation ..............................................
     def _vc_allocation(self) -> None:
+        tracer = self.network.tracer
         for vc in self.all_vcs:
             if vc.state != VC_VA:
                 continue
@@ -350,6 +358,10 @@ class Router:
             if vc.out_port == PORT_LOCAL:
                 vc.state = VC_ACTIVE
                 self.network.stats.va_grants += 1
+                if tracer is not None:
+                    tracer.on_vc_allocated(
+                        self.network.cycle, packet, self.node, vc.out_port
+                    )
                 continue
             target = self._allocate_downstream_vc(vc, packet)
             if target is None:
@@ -359,6 +371,10 @@ class Router:
             vc.out_vc = target
             vc.state = VC_ACTIVE
             self.network.stats.va_grants += 1
+            if tracer is not None:
+                tracer.on_vc_allocated(
+                    self.network.cycle, packet, self.node, vc.out_port
+                )
 
     def _allocate_downstream_vc(
         self, vc: InputVC, packet: Packet
@@ -396,6 +412,7 @@ class Router:
 
     # .. stage 1: route computation ...........................................
     def _route_computation(self) -> None:
+        tracer = self.network.tracer
         for vc in self.all_vcs:
             if vc.state != VC_ROUTING:
                 continue
@@ -405,6 +422,10 @@ class Router:
                 self.node, packet.dst
             )
             vc.state = VC_VA
+            if tracer is not None:
+                tracer.on_route_computed(
+                    self.network.cycle, packet, self.node, vc.out_port
+                )
 
     # -- DISCO hook points ----------------------------------------------------
     def _post_switch_allocation(self, losers: List[InputVC]) -> None:

@@ -9,10 +9,14 @@ advances the clock by one and ticks every active component phase by phase
 joins the simulation by registering components, not by editing the loop.
 
 Instrumentation is opt-in and zero-cost when off: ``enable_timing()``
-accumulates wall-clock per phase (for profiling the simulator itself —
-never visible to the simulation), and ``set_tracer()`` streams
-``(cycle, phase, component)`` tick events to a callback, which is how a
-wedged simulation can be replayed component-by-component.
+accumulates wall-clock per phase — and, with ``per_component=True``, per
+component label — for profiling the simulator itself (never visible to
+the simulation), and ``set_tracer()`` streams ``(cycle, phase,
+component)`` tick events to a callback, which is how a wedged simulation
+can be replayed component-by-component.  Subsystems that attach extra
+observability (the telemetry layer's sampler/tracer) record a one-line
+state note in :attr:`SimKernel.annotations` so ``describe()`` can report
+it without the kernel knowing about them.
 """
 
 from __future__ import annotations
@@ -24,6 +28,19 @@ from repro.sim.component import Component
 from repro.sim.stats import StatsRegistry
 
 Tracer = Callable[[int, str, Component], None]
+
+
+def component_label(component: Component) -> str:
+    """Stable profiling label for a component.
+
+    Prefers an explicit ``label`` attribute (``CallbackComponent``),
+    falling back to the class name — so all 16 routers of a mesh
+    aggregate into one hot-path entry instead of 16 singletons.
+    """
+    label = getattr(component, "label", None)
+    if label:
+        return str(label)
+    return type(component).__name__
 
 
 class Phase:
@@ -51,9 +68,17 @@ class SimKernel:
         #: for idle detection and wedge snapshots only.
         self._passive: List[Tuple[str, Component]] = []
         self._timing = False
+        self._component_timing = False
         self._tracer: Optional[Tracer] = None
         self.phase_seconds: Dict[str, float] = {}
         self.phase_ticks: Dict[str, int] = {}
+        #: ``(phase, component label) -> seconds/ticks`` accumulated when
+        #: ``enable_timing(per_component=True)`` is on.
+        self.component_seconds: Dict[Tuple[str, str], float] = {}
+        self.component_ticks: Dict[Tuple[str, str], int] = {}
+        #: Free-form state notes from attached subsystems (telemetry
+        #: sampler/tracer...); rendered by :meth:`describe`.
+        self.annotations: Dict[str, str] = {}
 
     # -- registration -------------------------------------------------------
     def add_phase(self, name: str, *, before: Optional[str] = None) -> Phase:
@@ -96,13 +121,28 @@ class SimKernel:
         return [c for p in self._phases for c in p.components]
 
     # -- instrumentation ----------------------------------------------------
-    def enable_timing(self, enabled: bool = True) -> None:
+    def enable_timing(
+        self, enabled: bool = True, per_component: bool = False
+    ) -> None:
         """Accumulate wall-clock seconds + tick counts per phase.
 
-        Profiling of the simulator, not the simulation: it cannot change
-        simulated behaviour, only report where host time goes.
+        ``per_component=True`` additionally attributes time to each
+        component label within its phase (the :class:`RunProfiler` input —
+        costs one extra ``perf_counter`` pair per tick, so leave it off
+        unless profiling).  Profiling of the simulator, not the
+        simulation: it cannot change simulated behaviour, only report
+        where host time goes.
         """
         self._timing = enabled
+        self._component_timing = enabled and per_component
+
+    @property
+    def timing_enabled(self) -> bool:
+        return self._timing
+
+    @property
+    def component_timing_enabled(self) -> bool:
+        return self._component_timing
 
     def set_tracer(self, tracer: Optional[Tracer]) -> None:
         """Stream every component tick as ``(cycle, phase, component)``."""
@@ -123,6 +163,7 @@ class SimKernel:
 
     def _step_instrumented(self, cycle: int) -> int:
         tracer = self._tracer
+        per_component = self._component_timing
         for phase in self._phases:
             start = time.perf_counter() if self._timing else 0.0
             ticked = 0
@@ -130,7 +171,18 @@ class SimKernel:
                 if component.has_work():
                     if tracer is not None:
                         tracer(cycle, phase.name, component)
-                    component.tick(cycle)
+                    if per_component:
+                        t0 = time.perf_counter()
+                        component.tick(cycle)
+                        key = (phase.name, component_label(component))
+                        self.component_seconds[key] = self.component_seconds.get(
+                            key, 0.0
+                        ) + (time.perf_counter() - t0)
+                        self.component_ticks[key] = (
+                            self.component_ticks.get(key, 0) + 1
+                        )
+                    else:
+                        component.tick(cycle)
                     ticked += 1
             if self._timing:
                 name = phase.name
@@ -166,7 +218,13 @@ class SimKernel:
         return not self.busy_components()
 
     def busy_components(self) -> List[Tuple[str, Component]]:
-        """Every component currently reporting work, with its phase name."""
+        """Every component currently reporting work, with its phase name.
+
+        Ordering is deterministic: active components in schedule order
+        (phase order, then registration order within the phase), followed
+        by passive components sorted by phase name (registration order
+        within a name) — so wedge reports diff cleanly across runs.
+        """
         busy = [
             (phase.name, component)
             for phase in self._phases
@@ -175,20 +233,47 @@ class SimKernel:
         ]
         busy.extend(
             (phase, component)
-            for phase, component in self._passive
+            for phase, component in sorted(
+                self._passive, key=lambda item: item[0]
+            )
             if component.has_work()
         )
         return busy
 
     def describe(self) -> str:
-        """A one-line-per-phase schedule summary (debug aid)."""
+        """A schedule + instrumentation summary (debug aid).
+
+        One line per phase (component/busy counts), one per passive phase,
+        plus the instrumentation state (timing/tracer) and any subsystem
+        :attr:`annotations` (e.g. the telemetry sampler's window setting).
+        """
         lines = [f"cycle {self.cycle}"]
+        lines.append(
+            "  instrumentation: timing="
+            + ("on" if self._timing else "off")
+            + (
+                " (per-component)"
+                if self._component_timing
+                else ""
+            )
+            + ", tracer="
+            + ("set" if self._tracer is not None else "none")
+        )
+        for key in sorted(self.annotations):
+            lines.append(f"  {key}: {self.annotations[key]}")
         for phase in self._phases:
             lines.append(
                 f"  {phase.name}: {len(phase.components)} components, "
                 f"{sum(1 for c in phase.components if c.has_work())} busy"
             )
-        if self._passive:
-            busy = sum(1 for _, c in self._passive if c.has_work())
-            lines.append(f"  (passive): {len(self._passive)} tracked, {busy} busy")
+        passive_phases: Dict[str, List[Component]] = {}
+        for phase_name, component in self._passive:
+            passive_phases.setdefault(phase_name, []).append(component)
+        for phase_name in sorted(passive_phases):
+            components = passive_phases[phase_name]
+            busy = sum(1 for c in components if c.has_work())
+            lines.append(
+                f"  {phase_name} (passive): {len(components)} tracked, "
+                f"{busy} busy"
+            )
         return "\n".join(lines)

@@ -124,6 +124,41 @@ class RecoveredStats:
         }
 
 
+@dataclass
+class TelemetryStats:
+    """Observability-layer counters (the ``telemetry`` stat group).
+
+    Populated by :mod:`repro.telemetry` when the sampler or packet tracer
+    is attached to a network.  Like ``recovered``, the group is only
+    registered when a telemetry knob is on — the golden default-mesh
+    snapshot layout is unchanged otherwise, and the group is excluded
+    from on/off invariance comparisons (it *describes* the telemetry,
+    it is not part of the simulated behaviour).
+    """
+
+    #: Time-series windows captured by the sampler (including ones later
+    #: evicted from the bounded ring buffer).
+    windows_sampled: int = 0
+    #: Windows evicted from the ring buffer by the capacity bound.
+    windows_evicted: int = 0
+    #: Packets selected for lifecycle tracing at the sampling rate.
+    packets_traced: int = 0
+    #: Lifecycle events recorded by the tracer.
+    trace_events: int = 0
+    #: Events discarded after the hard event cap was reached.
+    trace_events_dropped: int = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Registry-provider view of the group."""
+        return {
+            "windows_sampled": self.windows_sampled,
+            "windows_evicted": self.windows_evicted,
+            "packets_traced": self.packets_traced,
+            "trace_events": self.trace_events,
+            "trace_events_dropped": self.trace_events_dropped,
+        }
+
+
 class CounterSnapshot(Mapping[str, Dict[str, float]]):
     """An immutable sample of every registered counter group."""
 

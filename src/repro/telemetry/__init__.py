@@ -1,0 +1,51 @@
+"""repro.telemetry — the zero-cost-when-off observability layer.
+
+Four parts, all defaulting off and digest-invariant when on:
+
+- :mod:`repro.telemetry.sampler` — windowed time-series snapshots of the
+  stats registry (:class:`TimeSeriesSampler`), ring-buffered;
+- :mod:`repro.telemetry.tracer` — sampled per-packet lifecycle events
+  (:class:`PacketTracer`) recorded at fault-hook-style sites in the NoC;
+- :mod:`repro.telemetry.export` — Chrome trace-event JSON (Perfetto),
+  JSONL, and report-table summaries;
+- :mod:`repro.telemetry.profiler` — per-component wall-clock attribution
+  of the simulator itself (:class:`RunProfile`).
+
+:mod:`repro.telemetry.log` carries the structured logger the experiment
+runner uses in place of ad-hoc prints; :mod:`repro.telemetry.check`
+validates exported traces (CI smoke entry point).
+"""
+
+from repro.telemetry.export import (
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.log import get_logger
+from repro.telemetry.profiler import (
+    RunProfile,
+    merge_profiles,
+    profile_from_kernel,
+    render_profile,
+    write_profile,
+)
+from repro.telemetry.sampler import SampleWindow, TimeSeriesSampler
+from repro.telemetry.tracer import PacketTracer, TraceEvent
+
+__all__ = [
+    "PacketTracer",
+    "RunProfile",
+    "SampleWindow",
+    "TimeSeriesSampler",
+    "TraceEvent",
+    "get_logger",
+    "merge_profiles",
+    "profile_from_kernel",
+    "render_profile",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_profile",
+]

@@ -1,0 +1,129 @@
+"""Chrome trace-event JSON schema checker.
+
+Perfetto is forgiving when loading traces, which means a malformed
+exporter can silently render an empty timeline.  This module validates
+the subset of the trace-event format our exporter emits — strictly
+enough that a passing trace is known-loadable — and doubles as the CI
+smoke-test entry point::
+
+    PYTHONPATH=src python -m repro.telemetry.check trace.json
+
+Exit status 0 means the trace parsed and every event passed; errors are
+listed one per line on stderr otherwise.  A summary (event counts by
+phase/category, packet-span count) is printed on stdout so the CI log
+shows what the trace contained.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Sequence
+
+_ALLOWED_PH = {"X", "M", "i"}
+_METADATA_NAMES = {"process_name", "thread_name"}
+
+
+def _check_event(event: Dict, index: int, errors: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    ph = event.get("ph")
+    if ph not in _ALLOWED_PH:
+        errors.append(f"{where}: bad or missing ph {ph!r}")
+        return
+    if not isinstance(event.get("pid"), int):
+        errors.append(f"{where}: pid must be an integer")
+    if ph == "M":
+        if event.get("name") not in _METADATA_NAMES:
+            errors.append(
+                f"{where}: metadata name {event.get('name')!r} not in "
+                f"{sorted(_METADATA_NAMES)}"
+            )
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(
+            args.get("name"), str
+        ):
+            errors.append(f"{where}: metadata args.name must be a string")
+        return
+    # "X" spans and "i" instants share the common fields.
+    if not isinstance(event.get("tid"), int):
+        errors.append(f"{where}: tid must be an integer")
+    if not isinstance(event.get("name"), str) or not event.get("name"):
+        errors.append(f"{where}: name must be a non-empty string")
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        errors.append(f"{where}: ts must be a non-negative number")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur <= 0:
+            errors.append(f"{where}: dur must be a positive number")
+    if ph == "i" and event.get("s") not in (None, "t", "p", "g"):
+        errors.append(f"{where}: instant scope s={event.get('s')!r} invalid")
+
+
+def validate_chrome_trace(trace: Dict) -> List[str]:
+    """Return a list of schema violations (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return ["top level: must be a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents: empty (nothing to display)")
+    for index, event in enumerate(events):
+        _check_event(event, index, errors)
+    return errors
+
+
+def summarize(trace: Dict) -> Dict:
+    """Event counts by phase and category, plus the packet-span count."""
+    by_ph: Dict[str, int] = {}
+    by_cat: Dict[str, int] = {}
+    packet_spans = 0
+    for event in trace.get("traceEvents", []):
+        if not isinstance(event, dict):
+            continue
+        by_ph[str(event.get("ph"))] = by_ph.get(str(event.get("ph")), 0) + 1
+        cat = event.get("cat")
+        if cat:
+            by_cat[cat] = by_cat.get(cat, 0) + 1
+        if event.get("ph") == "X" and event.get("name") == "packet":
+            packet_spans += 1
+    return {"by_ph": by_ph, "by_cat": by_cat, "packet_spans": packet_spans}
+
+
+def main(argv: Sequence[str]) -> int:
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.telemetry.check trace.json",
+            file=sys.stderr,
+        )
+        return 2
+    path = argv[0]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_chrome_trace(trace)
+    summary = summarize(trace)
+    print(
+        f"{path}: {sum(summary['by_ph'].values())} events "
+        f"(by ph: {summary['by_ph']}, by cat: {summary['by_cat']}), "
+        f"{summary['packet_spans']} packet spans"
+    )
+    if errors:
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        print(f"{path}: INVALID ({len(errors)} errors)", file=sys.stderr)
+        return 1
+    print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke job
+    sys.exit(main(sys.argv[1:]))

@@ -53,6 +53,20 @@ def test_flow_control_study_components():
     assert stats.packets_ejected > 0
 
 
+def test_telemetry_demo_writes_artifacts(tmp_path, monkeypatch, capsys):
+    demo = __import__("telemetry_demo")
+    monkeypatch.setattr(sys, "argv", ["telemetry_demo", str(tmp_path)])
+    demo.main()
+    output = capsys.readouterr().out
+    assert "packet spans" in output
+    assert "hop events per router" in output
+    for name in ("trace.json", "trace.jsonl", "profile.json"):
+        assert (tmp_path / name).stat().st_size > 0
+    from repro.telemetry.check import main as check_main
+
+    assert check_main([str(tmp_path / "trace.json")]) == 0
+
+
 def test_noc_congestion_study_components():
     study = __import__("noc_congestion_study")
     network = study.build_disco_network()
