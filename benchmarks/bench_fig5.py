@@ -2,6 +2,10 @@
 
 Paper: DISCO beats CC by ~12 % and CNC by ~10.1 % on average.  The shape
 assertions check orderings and ballpark factors, not absolute numbers.
+
+Wall-clock trajectory: every run appends to ``bench_results/BENCH_fig5.json``
+(see :func:`common.append_bench_fig5`), which pins the pre-event-kernel
+tick-all baseline (45.954 s cold) that speedups are quoted against.
 """
 
 import time
@@ -9,15 +13,17 @@ import time
 from common import (
     BENCH_ACCESSES,
     BENCH_WORKLOADS,
+    append_bench_fig5,
     once,
     save_and_print,
-    save_json,
 )
 
 from repro.experiments.fig5 import fig5, render
+from repro.experiments.runner import simulated_runs
 
 
 def test_fig5(benchmark):
+    before = simulated_runs()
     start = time.perf_counter()
     result = once(
         benchmark,
@@ -27,13 +33,13 @@ def test_fig5(benchmark):
     )
     wall = time.perf_counter() - start
     save_and_print('fig5', render(result))
-    save_json(
-        'BENCH_fig5',
-        {
-            "wall_seconds": round(wall, 3),
-            "workloads": result.workloads,
+    append_bench_fig5(
+        config="bench",
+        wall_seconds=wall,
+        cache_hit=simulated_runs() == before,
+        extra={
+            "workloads": list(result.workloads),
             "accesses_per_core": BENCH_ACCESSES,
-            "normalized": result.normalized,
             "average": result.average,
             "disco_vs_cc": result.improvement_of_disco_over("cc"),
             "disco_vs_cnc": result.improvement_of_disco_over("cnc"),

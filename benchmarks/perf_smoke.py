@@ -1,0 +1,92 @@
+"""CI perf smoke: a reduced fig5 sweep must stay within 2x of its record.
+
+Standalone (``python benchmarks/perf_smoke.py``): runs the fig5 latency
+experiment at a reduced scale (two workloads, short traces), appends the
+wall-clock to the ``bench_results/BENCH_fig5.json`` trajectory with
+``config: "smoke"``, and exits non-zero if the run regressed by more
+than :data:`REGRESSION_FACTOR` against the best previous *cold* smoke
+entry.  Only like configurations are compared — the smoke record never
+gates the full bench configuration or vice versa.
+
+The 2x headroom absorbs host-speed variance between the machine that
+recorded the reference and the CI runner; a genuine scheduler regression
+(e.g. reverting the event-driven kernel to tick-everything) costs well
+over 2x and trips the gate.
+
+A run served entirely from the runner's caches measures nothing; it is
+recorded as ``cache_hit: true`` and skips the regression check (CI uses
+a fresh per-job cache directory, so its runs are always cold).
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import _results_dir, append_bench_fig5  # noqa: E402
+
+SMOKE_WORKLOADS = ("blackscholes", "fluidanimate")
+SMOKE_ACCESSES = 400
+REGRESSION_FACTOR = 2.0
+
+
+def best_cold_smoke_seconds() -> float:
+    """The fastest cold smoke run on record (the regression reference)."""
+    path = os.path.join(_results_dir(), "BENCH_fig5.json")
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return 0.0
+    cold = [
+        run["wall_seconds"]
+        for run in payload.get("runs", [])
+        if run.get("config") == "smoke" and not run.get("cache_hit")
+    ]
+    return min(cold) if cold else 0.0
+
+
+def main() -> int:
+    from repro.experiments.fig5 import fig5
+    from repro.experiments.runner import simulated_runs
+
+    reference = best_cold_smoke_seconds()
+    before = simulated_runs()
+    start = time.perf_counter()
+    result = fig5(
+        workloads=SMOKE_WORKLOADS, accesses_per_core=SMOKE_ACCESSES
+    )
+    wall = time.perf_counter() - start
+    cache_hit = simulated_runs() == before
+    append_bench_fig5(
+        config="smoke",
+        wall_seconds=wall,
+        cache_hit=cache_hit,
+        extra={
+            "workloads": list(SMOKE_WORKLOADS),
+            "accesses_per_core": SMOKE_ACCESSES,
+        },
+    )
+    print(f"perf smoke: {wall:.2f}s "
+          f"({'cache hit' if cache_hit else 'cold'}), "
+          f"disco vs cc {result.improvement_of_disco_over('cc'):+.1%}")
+    if cache_hit:
+        print("perf smoke: run was served from cache; nothing to gate")
+        return 0
+    if not reference:
+        print("perf smoke: no cold smoke reference on record; "
+              "this run becomes the reference")
+        return 0
+    limit = reference * REGRESSION_FACTOR
+    print(f"perf smoke: reference {reference:.2f}s, limit {limit:.2f}s")
+    if wall > limit:
+        print(f"perf smoke: REGRESSION — {wall:.2f}s exceeds "
+              f"{REGRESSION_FACTOR:.0f}x the {reference:.2f}s reference")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

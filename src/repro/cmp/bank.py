@@ -93,13 +93,10 @@ class HomeBank:
         self.pending: Dict[int, Transaction] = {}
         self.side_stats = BankSideStats()
 
-    # -- kernel component protocol (passive: reactive, never ticked) ----------
+    # -- kernel component protocol (passive: reactive, never scheduled) --------
     def has_work(self) -> bool:
         """Open directory transactions — feeds kernel wedge diagnostics."""
         return bool(self.pending)
-
-    def tick(self, cycle: int) -> None:  # pragma: no cover - passive
-        """Banks act only when a message or scheduled event calls in."""
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HomeBank(node={self.node}, {len(self.pending)} pending)"

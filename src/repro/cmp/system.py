@@ -196,6 +196,11 @@ class EventQueue:
     def has_work(self) -> bool:
         return bool(self._events)
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Idleness contract: sleep until the earliest scheduled event
+        (:meth:`CmpSystem.schedule` wakes the queue for new deadlines)."""
+        return self._events[0][0] if self._events else None
+
     def tick(self, cycle: int) -> None:
         events = self._events
         while events and events[0][0] <= cycle:
@@ -207,9 +212,9 @@ class EventQueue:
 
 
 class _MemoryComponent:
-    """Passive kernel registration for the DRAM controller: never ticked
-    (completions ride the event queue), but its busy state shows up in
-    idle checks and wedge snapshots."""
+    """Passive kernel registration for the DRAM controller: never
+    scheduled (completions ride the event queue), but its busy state
+    shows up in idle checks and wedge snapshots."""
 
     __slots__ = ("memory", "kernel")
 
@@ -219,9 +224,6 @@ class _MemoryComponent:
 
     def has_work(self) -> bool:
         return self.memory.busy_banks(self.kernel.cycle) > 0
-
-    def tick(self, cycle: int) -> None:  # pragma: no cover - passive
-        pass
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         busy = self.memory.busy_banks(self.kernel.cycle)
@@ -306,11 +308,11 @@ class CmpSystem:
         for tile in self.tiles:
             self.kernel.register(tile, phase="cmp.tiles")
         for bank in self.banks:
-            self.kernel.register(bank, phase="cmp.banks", tick=False)
+            self.kernel.register(bank, phase="cmp.banks", passive=True)
         self.kernel.register(
             _MemoryComponent(self.memory, self.kernel),
             phase="cmp.memory",
-            tick=False,
+            passive=True,
         )
         self._register_stats_groups()
         if prefill:
@@ -422,7 +424,10 @@ class CmpSystem:
 
     def schedule(self, delay: int, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` cycles (bank latencies, DRAM)."""
-        self.events.schedule(self.cycle + max(0, delay), fn)
+        due = self.cycle + max(0, delay)
+        self.events.schedule(due, fn)
+        # The event queue may be asleep; wake it for the new deadline.
+        self.kernel.wake(self.events, due)
 
     # -- messaging --------------------------------------------------------------
     def send_message(self, msg: Message, compressed_payload=None) -> None:
@@ -471,6 +476,10 @@ class CmpSystem:
         ):
             self.banks[node].handle(msg, packet)
         else:
+            # Data/INV/RECALL arriving can unblock a sleeping core (e.g.
+            # one waiting out a full miss window): wake it for this cycle
+            # (``cmp.tiles`` sweeps after every delivery phase).
+            self.kernel.wake(self.tiles[node])
             self.tiles[node].handle(msg, packet)
 
     def _memory_request(self, msg: Message, packet: Packet) -> None:
@@ -531,20 +540,30 @@ class CmpSystem:
         tests shrink it so a deliberate wedge fails fast).
         """
         tiles = self.tiles
+        cores = [tile.core for tile in tiles]
         kernel = self.kernel
         last_progress_cycle = 0
         last_outstanding = -1
+        # Every core's position is capped at its trace length, so the
+        # position sum hits this target exactly when every trace has
+        # drained — one pass over the cores covers the done check, the
+        # watchdog signature, and the fast-forward in-flight guard.
+        trace_target = sum(len(core.trace) for core in cores)
         while True:
-            if all(tile.core.done() for tile in tiles):
-                break
-            self._maybe_fast_forward()
+            positions = 0
+            outstanding = 0
+            for core in cores:
+                positions += core.position
+                outstanding += core.outstanding
+            if outstanding == 0:
+                if positions == trace_target:
+                    break
+                self._maybe_fast_forward()
             kernel.step()
             cycle = kernel.cycle
             self._maybe_snapshot()
             # Watchdog: abort if globally stuck.
-            signature = sum(t.core.position for t in tiles) + sum(
-                t.core.outstanding for t in tiles
-            )
+            signature = positions + outstanding
             if signature != last_outstanding:
                 last_outstanding = signature
                 last_progress_cycle = cycle

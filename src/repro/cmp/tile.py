@@ -54,6 +54,24 @@ class Tile:
         if self.core.trace_exhausted() and self.core.outstanding == 0:
             self.core.finished(cycle)
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Idleness contract: sleep between memory events.
+
+        While the core can still attempt issue (trace left, miss window
+        open) the tile stays scheduled — at the core's next issue cycle,
+        or every cycle while an MSHR-full stall is polling (so
+        ``stall_cycles`` counts match the tick-everything loop exactly).
+        Otherwise it is waiting on fills (or finished): deliveries wake
+        it via :meth:`CmpSystem._on_packet`.
+        """
+        core = self.core
+        if core.stats.finished_cycle >= 0:
+            return None
+        if core.position < len(core.trace) and core.outstanding < core.window:
+            nxt = core.next_issue_cycle
+            return nxt if nxt > cycle else cycle + 1
+        return None
+
     def _issue_one(self, cycle: int) -> bool:
         """Issue the core's next access; False when structurally stalled."""
         access = self.core.peek()

@@ -145,22 +145,47 @@ class CompressionAlgorithm(ABC):
         return f"<{type(self).__name__} name={self.name!r} line={self.line_size}>"
 
 
+#: Process-wide encoding memos shared by :class:`CachedCompressor`
+#: instances constructed with the same ``shared_key``.  Only stateless
+#: (non-trainable) algorithms may share: their encodings are pure
+#: functions of the line bytes, so a memo entry computed by one
+#: simulation is byte-identical for every other.
+_SHARED_CACHES: dict = {}
+
+
 class CachedCompressor(CompressionAlgorithm):
     """Memoizing wrapper around another algorithm.
 
     Workload traces revisit the same line values constantly; caching the
     (deterministic) encoding keeps cycle-level simulation fast without
     changing any result.  The cache is LRU-bounded.
+
+    ``shared_key`` opts into a process-wide memo shared across wrapper
+    instances (e.g. every run of the same algorithm in an experiment
+    sweep).  Callers must only pass it for stateless algorithms whose
+    encoding is fully determined by the key.
     """
 
-    def __init__(self, inner: CompressionAlgorithm, capacity: int = 16384):
+    def __init__(
+        self,
+        inner: CompressionAlgorithm,
+        capacity: int = 16384,
+        shared_key: tuple = None,
+    ):
         super().__init__(inner.line_size)
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.inner = inner
         self.name = inner.name
         self.capacity = capacity
-        self._cache: "OrderedDict[bytes, CompressedLine]" = OrderedDict()
+        if shared_key is not None:
+            cache = _SHARED_CACHES.get(shared_key)
+            if cache is None:
+                cache = OrderedDict()
+                _SHARED_CACHES[shared_key] = cache
+            self._cache: "OrderedDict[bytes, CompressedLine]" = cache
+        else:
+            self._cache = OrderedDict()
         self.hits = 0
         self.misses = 0
 

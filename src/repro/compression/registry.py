@@ -80,7 +80,16 @@ def get_algorithm(
         )
     algorithm = factory(line_size)
     if cached:
-        return CachedCompressor(algorithm, capacity=cache_capacity)
+        # Stateless algorithms share one process-wide encoding memo (the
+        # registry always builds them with default parameters, so the
+        # key fully determines the encoding).  Trainable ones (sc2, fvc)
+        # keep a private cache: training changes their encodings.
+        shared_key = (
+            None if hasattr(algorithm, "train") else (name, line_size)
+        )
+        return CachedCompressor(
+            algorithm, capacity=cache_capacity, shared_key=shared_key
+        )
     return algorithm
 
 

@@ -48,7 +48,7 @@ class DiscoRouter(Router):
         # and SA losers).
         va_blocked = [
             vc
-            for vc in self.all_vcs
+            for vc in self._bound
             if vc.state == VC_VA and vc.wait_cycles > 0
         ]
         if va_blocked:

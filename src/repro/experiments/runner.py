@@ -48,7 +48,7 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as _FutureTimeo
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, replace as _dc_replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cmp.config import SystemConfig
 from repro.cmp.schemes import make_scheme
@@ -249,14 +249,27 @@ def _source_fingerprint() -> str:
     return _SOURCE_FINGERPRINT
 
 
+def _kernel_mode() -> str:
+    """The active scheduler mode (``event`` or ``tick``).
+
+    Part of every cache key — memo and disk — so results produced under
+    ``REPRO_KERNEL_MODE=tick`` can never alias event-mode results (their
+    payloads are bit-identical by design, but the invariance tests that
+    *prove* that must observe two genuinely independent runs)."""
+    mode = os.environ.get("REPRO_KERNEL_MODE", "event")
+    return "tick" if mode == "tick" else "event"
+
+
 def spec_key(spec: RunSpec) -> str:
-    """Stable content address of (spec, code version) — identical across
-    processes and interpreter sessions, independent of hash randomization."""
+    """Stable content address of (spec, code version, kernel mode) —
+    identical across processes and interpreter sessions, independent of
+    hash randomization."""
     token = json.dumps(
         {
             "spec": asdict(spec),
             "code_version": CODE_VERSION,
             "source": _source_fingerprint(),
+            "kernel_mode": _kernel_mode(),
         },
         sort_keys=True,
     )
@@ -267,7 +280,20 @@ def spec_key(spec: RunSpec) -> str:
 # the two cache levels
 # --------------------------------------------------------------------------
 
-_CACHE: Dict[RunSpec, SimulationResult] = {}
+#: Per-process memo, keyed by (spec, kernel mode) so flipping
+#: ``REPRO_KERNEL_MODE`` mid-process cannot serve stale results.
+_CACHE: Dict[Tuple[RunSpec, str], SimulationResult] = {}
+
+#: Count of fresh simulations this process has performed (cache misses
+#: that reached :func:`_simulate`, plus specs fanned out to pool
+#: workers).  Benchmarks snapshot it around a run to tell a cold
+#: measurement from a cache hit — see ``benchmarks/common.py``.
+_SIMULATED = 0
+
+
+def simulated_runs() -> int:
+    """Fresh (non-cached) simulations performed so far in this process."""
+    return _SIMULATED
 
 
 def cache_dir() -> Path:
@@ -473,14 +499,16 @@ def _train_if_needed(system: CmpSystem, spec: RunSpec) -> None:
 
 def run_spec(spec: RunSpec, verbose: bool = False) -> SimulationResult:
     """Run (or recall) one simulation: memo -> disk -> simulate."""
-    cached = _CACHE.get(spec)
+    cached = _CACHE.get((spec, _kernel_mode()))
     if cached is not None:
         return cached
     result = _disk_load(spec)
     if result is None:
+        global _SIMULATED
+        _SIMULATED += 1
         result = _simulate(spec, verbose=verbose)
         _disk_store(spec, result)
-    _CACHE[spec] = result
+    _CACHE[(spec, _kernel_mode())] = result
     return result
 
 
@@ -553,7 +581,7 @@ def _spec_timeout() -> Optional[float]:
 
 
 def _store(spec: RunSpec, result: SimulationResult, verbose: bool) -> None:
-    _CACHE[spec] = result
+    _CACHE[(spec, _kernel_mode())] = result
     _disk_store(spec, result)
     if verbose:
         ensure_level(logging.INFO)
@@ -721,11 +749,11 @@ def run_specs(
     out: Dict[RunSpec, SimulationResult] = {}
     misses: List[RunSpec] = []
     for spec in ordered:
-        cached = _CACHE.get(spec)
+        cached = _CACHE.get((spec, _kernel_mode()))
         if cached is None:
             cached = _disk_load(spec)
             if cached is not None:
-                _CACHE[spec] = cached
+                _CACHE[(spec, _kernel_mode())] = cached
         if cached is not None:
             out[spec] = cached
         else:
@@ -740,6 +768,10 @@ def run_specs(
     if jobs == 1:
         _run_serial(misses, out, failures, verbose)
     else:
+        # Workers simulate in their own processes; credit the parent's
+        # counter here so cold/cache-hit detection works either way.
+        global _SIMULATED
+        _SIMULATED += len(misses)
         _run_parallel(misses, jobs, out, failures, verbose, prior)
     # Aggregate profiles before any failure raise, so survivors of a
     # partially-failed batch still land in profile.json.

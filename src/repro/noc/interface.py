@@ -68,6 +68,9 @@ class NetworkInterface:
         packet.injected_cycle = now
         extra = self.network.inject_transform(self.node, packet)
         self._queues[packet.ptype.vnet].append((now + extra, packet))
+        # Idle->busy transition: the NI may be asleep; wake it for the
+        # cycle the packet becomes streamable.
+        self.network.kernel.wake(self, now + extra)
 
     def has_work(self) -> bool:
         if self._pending_delivery:
@@ -84,6 +87,30 @@ class NetworkInterface:
         self._deliver_pending()
         for vnet in range(self.config.vnets):
             self._advance_stream(vnet)
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Idleness contract: poll every cycle while a stream is open or a
+        queue head is streamable (progress depends on VC/buffer state the
+        NI cannot observe changing); otherwise sleep until the earliest
+        ready deadline, or indefinitely (``inject`` /
+        ``complete_ejection`` wake us)."""
+        for stream in self._streaming:
+            if stream is not None:
+                return cycle + 1
+        best: Optional[int] = None
+        for queue in self._queues:
+            if queue:
+                ready = queue[0][0]
+                if ready <= cycle:
+                    return cycle + 1
+                if best is None or ready < best:
+                    best = ready
+        for ready, _packet in self._pending_delivery:
+            if ready <= cycle:
+                return cycle + 1
+            if best is None or ready < best:
+                best = ready
+        return best
 
     def cancel_packet(self, packet: Packet) -> bool:
         """Remove a packet from the injection queues / an open stream.
@@ -130,6 +157,8 @@ class NetworkInterface:
             return  # no buffer space this cycle
         is_head = sent == 0
         vc.accept_flit(packet, is_head)
+        # The local router may be asleep; it has a flit to move now.
+        self.network.kernel.wake(vc.router)
         self.network.stats.flits_injected += 1
         self.network.stats.buffer_writes += 1
         if is_head and self.network.tracer is not None:
@@ -156,6 +185,10 @@ class NetworkInterface:
             return None
         queue.popleft()
         vc.reserved = True
+        # Reservation alone makes the router "busy": wake it so it is
+        # polling when the head flit lands (accept may still be a cycle
+        # away if the buffer is momentarily full).
+        self.network.kernel.wake(vc.router)
         stream = (packet, vc, 0)
         self._streaming[vnet] = stream
         return stream
@@ -177,6 +210,7 @@ class NetworkInterface:
         if extra > 0:
             self.network.stats.eject_decompress_stall_cycles += extra
             self._pending_delivery.append((now + extra, packet))
+            self.network.kernel.wake(self, now + extra)
         else:
             self._deliver(packet)
 

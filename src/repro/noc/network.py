@@ -32,6 +32,7 @@ A ``router_factory`` lets the DISCO scheme replace the baseline router with
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.noc.config import NocConfig
@@ -65,13 +66,20 @@ def _default_priority(packet: Packet) -> int:
 
 
 class ArrivalQueue:
-    """Link arrivals scheduled for future cycles (a kernel component)."""
+    """Link arrivals scheduled for future cycles (a kernel component).
 
-    __slots__ = ("network", "_due")
+    Idleness contract: a min-heap over the due cycles backs ``next_wake``,
+    so the queue sleeps between batches; ``schedule`` wakes it for the new
+    due cycle.  When a batch lands, the target routers are woken in the
+    same cycle (``net.routers`` sweeps after ``net.arrivals``).
+    """
+
+    __slots__ = ("network", "_due", "_due_heap")
 
     def __init__(self, network: "Network"):
         self.network = network
         self._due: Dict[int, List[Tuple[InputVC, Packet, bool, bool]]] = {}
+        self._due_heap: List[int] = []
 
     def schedule(
         self,
@@ -81,9 +89,12 @@ class ArrivalQueue:
         is_head: bool,
         is_tail: bool,
     ) -> None:
-        self._due.setdefault(due, []).append(
-            (target_vc, packet, is_head, is_tail)
-        )
+        batch = self._due.get(due)
+        if batch is None:
+            batch = self._due[due] = []
+            heapq.heappush(self._due_heap, due)
+            self.network.kernel.wake(self, due)
+        batch.append((target_vc, packet, is_head, is_tail))
 
     def has_work(self) -> bool:
         return bool(self._due)
@@ -126,6 +137,13 @@ class ArrivalQueue:
                     del self._due[due_cycle]
         return removed
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        heap = self._due_heap
+        due = self._due
+        while heap and heap[0] not in due:
+            heapq.heappop(heap)  # batch already delivered (or purged empty)
+        return heap[0] if heap else None
+
     def tick(self, cycle: int) -> None:
         arrivals = self._due.pop(cycle, None)
         if not arrivals:
@@ -133,8 +151,10 @@ class ArrivalQueue:
         stats = self.network.stats
         faults = self.network.faults
         tracer = self.network.tracer
+        wake = self.network.kernel.wake
         for target_vc, packet, is_head, is_tail in arrivals:
             target_vc.accept_flit(packet, is_head)
+            wake(target_vc.router)
             stats.buffer_writes += 1
             if is_head:
                 packet.hops_traversed += 1
@@ -157,7 +177,11 @@ class ArrivalQueue:
 
 
 class LocalDeliveryQueue:
-    """Same-tile deliveries waiting out their NI transform latency."""
+    """Same-tile deliveries waiting out their NI transform latency.
+
+    Idleness contract: sleeps until the earliest ``ready`` cycle
+    (``next_wake``); ``schedule`` wakes it for the new deadline.
+    """
 
     __slots__ = ("network", "_pending")
 
@@ -167,12 +191,18 @@ class LocalDeliveryQueue:
 
     def schedule(self, ready: int, packet: Packet) -> None:
         self._pending.append((ready, packet))
+        self.network.kernel.wake(self, ready)
 
     def has_work(self) -> bool:
         return bool(self._pending)
 
     def pending(self) -> int:
         return len(self._pending)
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        if not self._pending:
+            return None
+        return min(ready for ready, _packet in self._pending)
 
     def tick(self, cycle: int) -> None:
         remaining = []
@@ -208,6 +238,7 @@ class Network:
         self.mesh = self.topology  # legacy alias (pre-fabric callers)
         self.routing = config.make_routing()
         self._route_fn = self.routing.fn
+        self._route_cache: Dict[Tuple[int, int], Tuple[int, Optional[int]]] = {}
         self.stats = NetworkStats()
         self.kernel = kernel if kernel is not None else SimKernel()
         factory = router_factory or Router
@@ -219,7 +250,12 @@ class Network:
         ]
         self.arrival_queue = ArrivalQueue(self)
         self.local_deliveries = LocalDeliveryQueue(self)
-        self._eject_tokens: List[int] = [0] * self.topology.n_nodes
+        # Ejection tokens start full; the frame step only refills nodes
+        # that actually spent tokens (``_eject_spent``) instead of
+        # rewriting the whole array every cycle.
+        bandwidth = config.ejection_bandwidth
+        self._eject_tokens: List[int] = [bandwidth] * self.topology.n_nodes
+        self._eject_spent: List[int] = []
         self._delivery_handler: Optional[DeliveryHandler] = None
         #: Fault-injection controller (:mod:`repro.faults`); ``None`` keeps
         #: every hook a cheap attribute test with zero behavioural impact.
@@ -284,6 +320,10 @@ class Network:
             kernel.stats.register("recovered", self.recovered.counters)
         if config.telemetry_enabled:
             kernel.stats.register("telemetry", self.telemetry.counters)
+            # Idle-efficiency counters (cycles_total / component_wakes /
+            # wakes_skipped).  Gated with telemetry so the default snapshot
+            # layout — and the golden digests — are unchanged.
+            kernel.stats.register("kernel", kernel.kernel_counters)
         if config.trace_packets:
             self.tracer = PacketTracer(
                 sample_interval=config.trace_sample_interval,
@@ -310,10 +350,13 @@ class Network:
 
     def _frame_start(self, cycle: int) -> None:
         self.stats.cycles = cycle
-        bandwidth = self.config.ejection_bandwidth
-        tokens = self._eject_tokens
-        for node in range(len(tokens)):
-            tokens[node] = bandwidth
+        spent = self._eject_spent
+        if spent:
+            bandwidth = self.config.ejection_bandwidth
+            tokens = self._eject_tokens
+            for node in spent:
+                tokens[node] = bandwidth
+            self._eject_spent = []
         if self.faults is not None:
             # Per-cycle fault hook: scheduled faults fire, random
             # credit/wedge faults are sampled, stolen credits resync.
@@ -375,8 +418,18 @@ class Network:
     # -- packet movement -------------------------------------------------------
     def route(self, node: int, dst: int):
         """Route decision ``(out_port, vc_class)`` at ``node`` toward ``dst``
-        under the configured algorithm."""
-        return self._route_fn(self.topology, node, dst)
+        under the configured algorithm.
+
+        Routing algorithms are deterministic pure functions of
+        ``(topology, node, dst)`` (the :mod:`repro.noc.routing` contract),
+        so decisions are memoized per pair.
+        """
+        key = (node, dst)
+        decision = self._route_cache.get(key)
+        if decision is None:
+            decision = self._route_fn(self.topology, node, dst)
+            self._route_cache[key] = decision
+        return decision
 
     def send(self, packet: Packet) -> None:
         """Inject a packet at its source node's NI."""
@@ -423,6 +476,7 @@ class Network:
 
     def eject_flit(self, node: int, packet: Packet, is_tail: bool) -> None:
         self._eject_tokens[node] -= 1
+        self._eject_spent.append(node)
         self.stats.flits_ejected += 1
         if is_tail:
             self.nis[node].complete_ejection(packet)

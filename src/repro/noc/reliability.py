@@ -136,6 +136,13 @@ class ReliabilityLayer:
         self._prune()
         return bool(self._deadlines)
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Idleness contract: sleep until the earliest live retransmission
+        deadline (every heappush site also wakes the layer, so a deadline
+        scheduled while asleep is never missed)."""
+        self._prune()
+        return self._deadlines[0][0] if self._deadlines else None
+
     def tick(self, cycle: int) -> None:
         """Fire every due retransmission deadline."""
         while self._deadlines and self._deadlines[0][0] <= cycle:
@@ -159,6 +166,7 @@ class ReliabilityLayer:
                 heapq.heappush(
                     self._deadlines, (entry.next_deadline, flow, seq)
                 )
+                self.network.kernel.wake(self, entry.next_deadline)
                 continue
             self._retransmit(entry, cycle)
 
@@ -213,6 +221,7 @@ class ReliabilityLayer:
         )
         entries[seq] = entry
         heapq.heappush(self._deadlines, (entry.next_deadline, flow, seq))
+        self.network.kernel.wake(self, entry.next_deadline)
 
     def _retransmit(self, entry: ReplayEntry, cycle: int) -> None:
         """Re-inject a pristine clone of an unacked packet at its source NI."""
@@ -241,6 +250,7 @@ class ReliabilityLayer:
         backoff = min(1 << entry.attempts, self.config.retx_backoff_cap)
         entry.next_deadline = cycle + self.config.retx_timeout * backoff
         heapq.heappush(self._deadlines, (entry.next_deadline, flow, entry.seq))
+        self.network.kernel.wake(self, entry.next_deadline)
         self.stats.retransmissions += 1
         if self.network.tracer is not None:
             # Lifecycle hook: recorded before the inject so the retx marker
@@ -453,6 +463,10 @@ class InvariantMonitor:
     # -- kernel component protocol -------------------------------------------
     def has_work(self) -> bool:
         return True  # the tick itself is one modulo when off-interval
+
+    def next_wake(self, cycle: int) -> int:
+        """Idleness contract: timed wakeup at the next audit boundary."""
+        return cycle + self.interval - cycle % self.interval
 
     def tick(self, cycle: int) -> None:
         if cycle % self.interval:

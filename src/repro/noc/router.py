@@ -20,6 +20,8 @@ abort, step-3).
 
 from __future__ import annotations
 
+from bisect import insort
+from operator import attrgetter
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.noc.config import FlowControl, NocConfig
@@ -35,6 +37,22 @@ VC_ROUTING = 1
 VC_VA = 2
 VC_ACTIVE = 3
 
+_by_scan_key = attrgetter("scan_key")
+
+#: Resolved lazily (import cycle): the stock ``Network.can_eject``, so the
+#: SA hot path can tell "unmodified ejection policy" (inlinable token
+#: check) from a subclass override or a test/fault monkey-patch.
+_BASE_CAN_EJECT = None
+
+
+def _base_can_eject():
+    global _BASE_CAN_EJECT
+    if _BASE_CAN_EJECT is None:
+        from repro.noc.network import Network
+
+        _BASE_CAN_EJECT = Network.can_eject
+    return _BASE_CAN_EJECT
+
 
 class InputVC:
     """One virtual-channel buffer of one input port.
@@ -49,6 +67,7 @@ class InputVC:
         "router",
         "port",
         "vc_index",
+        "scan_key",
         "depth",
         "packet",
         "state",
@@ -70,6 +89,9 @@ class InputVC:
         self.router = router
         self.port = port
         self.vc_index = vc_index
+        #: Position in the router's ``all_vcs`` scan order — keeps the
+        #: bound-VC active list sorted identically to a full scan.
+        self.scan_key = 0
         self.depth = depth
         self.packet: Optional[Packet] = None
         self.state = VC_IDLE
@@ -97,9 +119,10 @@ class InputVC:
     def free_slots(self) -> int:
         """Sender-visible credits (never negative; decompression overflow
         is absorbed by the engine's staging registers)."""
-        return max(
-            0, self.depth - self.flits_present - self.incoming - self.credit_debt
+        slots = (
+            self.depth - self.flits_present - self.incoming - self.credit_debt
         )
+        return slots if slots > 0 else 0
 
     def occupancy(self) -> int:
         """Buffered + in-flight flits (the congestion signal DISCO reads)."""
@@ -120,6 +143,7 @@ class InputVC:
                     f"port {self.port} vc {self.vc_index}"
                 )
             self.packet = packet
+            self.router._bind_vc(self)
             self.reserved = False
             self.state = VC_ROUTING
             self.flits_received = 0
@@ -152,6 +176,8 @@ class InputVC:
 
     def release(self) -> None:
         """Free the VC after the tail flit has left."""
+        if self.packet is not None:
+            self.router._unbind_vc(self)
         self.packet = None
         self.state = VC_IDLE
         self.flits_present = 0
@@ -192,16 +218,51 @@ class Router:
             ]
             for port in range(self.radix)
         ]
-        #: Flattened VC list — the per-cycle scans iterate this once.
+        #: Flattened VC list (diagnostics, faults, the invariant monitor).
         self.all_vcs: List[InputVC] = [
             vc for port_vcs in self.inputs for vc in port_vcs
         ]
+        for index, vc in enumerate(self.all_vcs):
+            vc.scan_key = index
+        #: Bound-VC active list: every VC currently holding a packet, kept
+        #: sorted by ``scan_key``.  The per-cycle pipeline stages iterate
+        #: this short list instead of scanning all ``radix × vcs_per_port``
+        #: buffers — iteration order (and thus arbitration) is identical
+        #: to a full scan because the sort key *is* the scan position.
+        self._bound: List[InputVC] = []
         self._sa_rr: List[int] = [0] * self.radix  # round-robin per output port
         # Round-robin key space: (port, vc) -> port * stride + vc.  The
         # floors of 8 keep the Table 2 mesh arithmetic (stride 8, span 64)
         # bit-identical to the fixed-radix implementation.
         self._rr_stride = max(8, config.vcs_per_port)
         self._rr_span = self._rr_stride * max(8, self.radix)
+        # Hot-path precomputation.  The flags let the per-cycle pipeline
+        # skip hook dispatch entirely on the plain router (subclasses that
+        # override a hook are detected once here, not per flit).
+        self._saf = config.flow_control is FlowControl.STORE_AND_FORWARD
+        self._whole_packet = config.flow_control in (
+            FlowControl.VIRTUAL_CUT_THROUGH,
+            FlowControl.STORE_AND_FORWARD,
+        )
+        self._link_latency = config.link_latency
+        self._plain_can_send = type(self)._can_send is Router._can_send
+        self._sa_hook = (
+            type(self)._post_switch_allocation
+            is not Router._post_switch_allocation
+        )
+        self._ff_hook = (
+            type(self)._on_first_flit_sent is not Router._on_first_flit_sent
+        )
+        #: (out_port, vnet, vc_class) -> downstream candidate VCs in scan
+        #: order; the topology is static so the lists never change.
+        self._va_candidates: Dict[tuple, List[InputVC]] = {}
+
+    # -- bound-VC bookkeeping -------------------------------------------------
+    def _bind_vc(self, vc: InputVC) -> None:
+        insort(self._bound, vc, key=_by_scan_key)
+
+    def _unbind_vc(self, vc: InputVC) -> None:
+        self._bound.remove(vc)
 
     # -- queries used by DISCO and flow control ------------------------------
     def input_port_occupancy(self, port: int) -> int:
@@ -221,10 +282,14 @@ class Router:
 
     def local_contention(self, out_port: int, exclude: InputVC) -> int:
         """Flits buffered locally that also head for ``out_port``
-        (credit_out / competitor pressure in Eq. (1)/(2))."""
+        (credit_out / competitor pressure in Eq. (1)/(2)).
+
+        Scans every buffer rather than the bound-VC list: it is off the
+        per-flit hot path and diagnostics poke VC state directly.
+        """
         total = 0
         for vc in self.all_vcs:
-            if vc is exclude or vc.packet is None:
+            if vc is exclude:
                 continue
             if vc.out_port == out_port:
                 total += vc.flits_present
@@ -232,54 +297,147 @@ class Router:
 
     def has_work(self) -> bool:
         """Cheap idle test so the network can skip quiescent routers."""
+        if self._bound:
+            return True
         for vc in self.all_vcs:
-            if vc.packet is not None or vc.incoming or vc.reserved:
+            if vc.incoming or vc.reserved:
                 return True
         return False
 
     # -- per-cycle pipeline --------------------------------------------------
     def tick(self, cycle: Optional[int] = None) -> None:
-        """One cycle: SA/ST first, then VA, then RC (stage separation)."""
-        self._switch_allocation()
-        self._vc_allocation()
-        self._route_computation()
+        """One cycle: SA/ST first, then VA, then RC (stage separation).
+
+        A single pass over the bound VCs snapshots each stage's work list,
+        then the stages run in pipeline order — identical to three separate
+        scans because a VC is in exactly one state at scan time and stage
+        processing never moves a VC into an *earlier* stage's set within
+        the same cycle.
+        """
+        sa = va = rc = None
+        for vc in self._bound:
+            state = vc.state
+            if state == VC_ACTIVE:
+                if vc.flits_present:
+                    if sa is None:
+                        sa = [vc]
+                    else:
+                        sa.append(vc)
+            elif state == VC_VA:
+                if va is None:
+                    va = [vc]
+                else:
+                    va.append(vc)
+            elif state == VC_ROUTING:
+                if rc is None:
+                    rc = [vc]
+                else:
+                    rc.append(vc)
+        if sa is not None:
+            self._switch_allocation(sa)
+        if va is not None:
+            self._vc_allocation(va)
+        if rc is not None:
+            self._route_computation(rc)
 
     # .. stage 3+2b: switch allocation and traversal ..........................
-    def _switch_allocation(self) -> None:
-        requests: Dict[int, List[InputVC]] = {}
-        blocked: List[InputVC] = []
-        for vc in self.all_vcs:
-            if vc.state != VC_ACTIVE or vc.flits_present == 0:
-                continue
-            if not self._can_send(vc):
+    def _switch_allocation(self, active: List[InputVC]) -> None:
+        network = self.network
+        now = network.kernel.cycle
+        saf = self._saf
+        plain = self._plain_can_send
+        # The eject-token pool only changes when a flit is actually sent,
+        # and at most one local-port winner sends per cycle, so the check
+        # hoists out of the partition loop — but only for the stock
+        # ejection policy: a replaced ``can_eject`` (subclass or
+        # test/fault monkey-patch) must be consulted per VC.
+        eject_call = None
+        if plain:
+            eject_fn = network.can_eject
+            if getattr(eject_fn, "__func__", None) is _base_can_eject():
+                eject_ok = network._eject_tokens[self.node] > 0
+            else:
+                eject_call = eject_fn
+        else:
+            eject_ok = False
+        single: Optional[List[InputVC]] = None  # all requesters, one port
+        requests: Optional[Dict[int, List[InputVC]]] = None
+        blocked: Optional[List[InputVC]] = None
+        for vc in active:
+            if plain:
+                out_port = vc.out_port
+                if vc.wedged_until > now:
+                    ok = False  # fault-injected wedge (repro.faults)
+                elif saf and vc.flits_received < vc.packet.size_flits:
+                    ok = False
+                elif out_port == PORT_LOCAL:
+                    ok = (
+                        eject_ok
+                        if eject_call is None
+                        else eject_call(self.node)
+                    )
+                else:
+                    t = vc.out_vc
+                    ok = (
+                        t.depth - t.flits_present - t.incoming - t.credit_debt
+                    ) > 0
+            else:
+                ok = self._can_send(vc)
+                out_port = vc.out_port
+            if not ok:
                 vc.wait_cycles += 1
-                blocked.append(vc)
-                continue
-            requests.setdefault(vc.out_port, []).append(vc)
+                if blocked is None:
+                    blocked = [vc]
+                else:
+                    blocked.append(vc)
+            elif requests is not None:
+                requests.setdefault(out_port, []).append(vc)
+            elif single is None:
+                single = [vc]
+            elif single[0].out_port == out_port:
+                single.append(vc)
+            else:
+                requests = {single[0].out_port: single, out_port: [vc]}
+                single = None
 
-        used_inputs = set()
-        winners: List[InputVC] = []
-        losers: List[InputVC] = []
-        for out_port in sorted(requests):
-            candidates = [
-                vc for vc in requests[out_port] if vc.port not in used_inputs
-            ]
-            if not candidates:
-                losers.extend(requests[out_port])
-                continue
-            winner = self._arbitrate(out_port, candidates)
-            used_inputs.add(winner.port)
-            winners.append(winner)
-            losers.extend(
-                vc for vc in requests[out_port] if vc is not winner
-            )
+        losers: Optional[List[InputVC]] = None
+        if single is not None:
+            # The overwhelmingly common shape (one output port requested):
+            # no cross-port input conflicts are possible, so the used-input
+            # filtering reduces to a single arbitration.
+            winner = self._arbitrate(single[0].out_port, single)
+            self._send_flit(winner)
+            if len(single) > 1:
+                losers = [vc for vc in single if vc is not winner]
+        elif requests is not None:
+            used_inputs = set()
+            winners: List[InputVC] = []
+            losers = []
+            for out_port in sorted(requests):
+                candidates = [
+                    vc for vc in requests[out_port] if vc.port not in used_inputs
+                ]
+                if not candidates:
+                    losers.extend(requests[out_port])
+                    continue
+                winner = self._arbitrate(out_port, candidates)
+                used_inputs.add(winner.port)
+                winners.append(winner)
+                losers.extend(
+                    vc for vc in requests[out_port] if vc is not winner
+                )
+            for vc in winners:
+                self._send_flit(vc)
+            if not losers:
+                losers = None
 
-        for vc in winners:
-            self._send_flit(vc)
-        for vc in losers:
-            vc.wait_cycles += 1
-            self.network.stats.sa_losses += 1
-        self._post_switch_allocation(losers + blocked)
+        if losers is not None:
+            stats = network.stats
+            for vc in losers:
+                vc.wait_cycles += 1
+                stats.sa_losses += 1
+        if self._sa_hook and (losers is not None or blocked is not None):
+            self._post_switch_allocation((losers or []) + (blocked or []))
 
     def _can_send(self, vc: InputVC) -> bool:
         packet = vc.packet
@@ -297,13 +455,24 @@ class Router:
 
     def _arbitrate(self, out_port: int, candidates: List[InputVC]) -> InputVC:
         """Highest effective priority wins; round-robin among equals."""
-        best_priority = max(self._priority(vc) for vc in candidates)
-        top = [vc for vc in candidates if self._priority(vc) == best_priority]
-        pointer = self._sa_rr[out_port]
         stride, span = self._rr_stride, self._rr_span
-        top.sort(key=lambda vc: ((vc.port * stride + vc.vc_index) - pointer) % span)
-        self._sa_rr[out_port] = (top[0].port * stride + top[0].vc_index + 1) % span
-        return top[0]
+        if len(candidates) == 1:
+            winner = candidates[0]
+        else:
+            priorities = [self._priority(vc) for vc in candidates]
+            best_priority = max(priorities)
+            top = [
+                vc
+                for vc, priority in zip(candidates, priorities)
+                if priority == best_priority
+            ]
+            pointer = self._sa_rr[out_port]
+            top.sort(
+                key=lambda vc: ((vc.port * stride + vc.vc_index) - pointer) % span
+            )
+            winner = top[0]
+        self._sa_rr[out_port] = (winner.port * stride + winner.vc_index + 1) % span
+        return winner
 
     def _priority(self, vc: InputVC) -> int:
         packet = vc.packet
@@ -312,9 +481,9 @@ class Router:
 
     def _send_flit(self, vc: InputVC) -> None:
         packet = vc.packet
-        assert packet is not None
-        stats = self.network.stats
-        if vc.flits_sent == 0:
+        network = self.network
+        stats = network.stats
+        if vc.flits_sent == 0 and self._ff_hook:
             self._on_first_flit_sent(vc)
         vc.flits_present -= 1
         vc.flits_sent += 1
@@ -323,22 +492,25 @@ class Router:
         stats.sa_grants += 1
         is_head = vc.flits_sent == 1
         is_tail = vc.flits_sent == packet.size_flits
-        tracer = self.network.tracer
+        tracer = network.tracer
         if tracer is not None:
-            cycle = self.network.cycle
+            cycle = network.kernel.cycle
             if is_head:
                 tracer.on_switch_granted(cycle, packet, self.node, vc.out_port)
             if is_tail:
                 tracer.on_tail_sent(cycle, packet, self.node, vc.out_port)
         if vc.out_port == PORT_LOCAL:
-            self.network.eject_flit(self.node, packet, is_tail)
+            network.eject_flit(self.node, packet, is_tail)
         else:
             target = vc.out_vc
-            assert target is not None
             target.incoming += 1
             stats.link_flits += 1
-            self.network.schedule_arrival(
-                self.config.link_latency, target, packet, is_head, is_tail
+            network.arrival_queue.schedule(
+                network.kernel.cycle + self._link_latency,
+                target,
+                packet,
+                is_head,
+                is_tail,
             )
         if is_tail:
             if vc.flits_present != 0:
@@ -348,19 +520,18 @@ class Router:
             vc.release()
 
     # .. stage 2a: VC allocation ..............................................
-    def _vc_allocation(self) -> None:
-        tracer = self.network.tracer
-        for vc in self.all_vcs:
-            if vc.state != VC_VA:
-                continue
+    def _vc_allocation(self, vcs: List[InputVC]) -> None:
+        network = self.network
+        tracer = network.tracer
+        stats = network.stats
+        for vc in vcs:
             packet = vc.packet
-            assert packet is not None
             if vc.out_port == PORT_LOCAL:
                 vc.state = VC_ACTIVE
-                self.network.stats.va_grants += 1
+                stats.va_grants += 1
                 if tracer is not None:
                     tracer.on_vc_allocated(
-                        self.network.cycle, packet, self.node, vc.out_port
+                        network.kernel.cycle, packet, self.node, vc.out_port
                     )
                 continue
             target = self._allocate_downstream_vc(vc, packet)
@@ -370,61 +541,75 @@ class Router:
             target.reserved = True
             vc.out_vc = target
             vc.state = VC_ACTIVE
-            self.network.stats.va_grants += 1
+            stats.va_grants += 1
             if tracer is not None:
                 tracer.on_vc_allocated(
-                    self.network.cycle, packet, self.node, vc.out_port
+                    network.kernel.cycle, packet, self.node, vc.out_port
                 )
 
     def _allocate_downstream_vc(
         self, vc: InputVC, packet: Packet
     ) -> Optional[InputVC]:
-        neighbor = self.topology.neighbor[self.node].get(vc.out_port)
-        assert neighbor is not None, "deterministic routing never exits the fabric"
-        in_port = self.topology.neighbor_port(self.node, vc.out_port)
-        whole_packet = self.config.flow_control in (
-            FlowControl.VIRTUAL_CUT_THROUGH,
-            FlowControl.STORE_AND_FORWARD,
-        )
+        whole_packet = self._whole_packet
         if whole_packet and packet.size_flits > self.config.vc_depth:
             raise RuntimeError(
                 f"{self.config.flow_control.value} needs vc_depth >= packet "
                 f"size ({packet.size_flits} flits > {self.config.vc_depth})"
             )
-        if vc.out_vc_class is None:
-            allowed = self.config.vnet_vcs(packet.ptype.vnet)
+        key = (vc.out_port, packet.ptype.vnet, vc.out_vc_class)
+        candidates = self._va_candidates.get(key)
+        if candidates is None:
+            candidates = self._build_va_candidates(*key)
+            self._va_candidates[key] = candidates
+        size = packet.size_flits
+        for candidate in candidates:
+            if (
+                candidate.packet is None
+                and not candidate.reserved
+                and candidate.incoming == 0
+            ):
+                if whole_packet and candidate.free_slots() < size:
+                    continue
+                return candidate
+        return None
+
+    def _build_va_candidates(
+        self, out_port: int, vnet: int, vc_class: Optional[int]
+    ) -> List[InputVC]:
+        """Downstream VCs eligible for (out_port, vnet, class), scan order.
+
+        The topology never changes mid-run, so the filtered list is built
+        once per key and reused every VC allocation.
+        """
+        neighbor = self.topology.neighbor[self.node].get(out_port)
+        assert neighbor is not None, "deterministic routing never exits the fabric"
+        in_port = self.topology.neighbor_port(self.node, out_port)
+        if vc_class is None:
+            allowed = self.config.vnet_vcs(vnet)
         else:
             # Dateline routing: restrict allocation to the escape class
             # chosen at route computation.
-            allowed = self.config.escape_class_vcs(
-                packet.ptype.vnet, vc.out_vc_class
-            )
+            allowed = self.config.escape_class_vcs(vnet, vc_class)
         router = self.network.routers[neighbor]
-        for candidate in router.inputs[in_port]:
-            if candidate.vc_index not in allowed:
-                continue
-            if not candidate.is_free():
-                continue
-            if whole_packet and candidate.free_slots() < packet.size_flits:
-                continue
-            return candidate
-        return None
+        return [
+            candidate
+            for candidate in router.inputs[in_port]
+            if candidate.vc_index in allowed
+        ]
 
     # .. stage 1: route computation ...........................................
-    def _route_computation(self) -> None:
-        tracer = self.network.tracer
-        for vc in self.all_vcs:
-            if vc.state != VC_ROUTING:
-                continue
+    def _route_computation(self, vcs: List[InputVC]) -> None:
+        network = self.network
+        tracer = network.tracer
+        route = network.route
+        node = self.node
+        for vc in vcs:
             packet = vc.packet
-            assert packet is not None
-            vc.out_port, vc.out_vc_class = self.network.route(
-                self.node, packet.dst
-            )
+            vc.out_port, vc.out_vc_class = route(node, packet.dst)
             vc.state = VC_VA
             if tracer is not None:
                 tracer.on_route_computed(
-                    self.network.cycle, packet, self.node, vc.out_port
+                    network.kernel.cycle, packet, node, vc.out_port
                 )
 
     # -- DISCO hook points ----------------------------------------------------

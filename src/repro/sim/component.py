@@ -4,18 +4,28 @@ A *component* is anything with per-cycle behaviour: a router, a network
 interface, the arrival queue, a tile, the CMP event queue.  The kernel
 only ever asks two things of it:
 
-- ``has_work()`` — a cheap idle test.  Components that return False are
-  skipped that cycle (the dominant cost saving of the tick loop: a 64-node
-  mesh is mostly quiescent routers), and the same predicate feeds the
-  kernel's idle/wedge diagnostics.
+- ``has_work()`` — a cheap idle test.  Every kernel visit re-checks it
+  before ticking (so spurious wakeups are harmless), and the same
+  predicate feeds the kernel's idle/wedge diagnostics.
 - ``tick(cycle)`` — advance one cycle.  The kernel passes the cycle it is
   executing so components need not reach back into a shared clock.
 
+A component may additionally implement the *idleness contract* hook:
+
+- ``next_wake(cycle)`` — called after every visit; returns the next
+  cycle the component needs service, or ``None`` to sleep until a
+  producer calls :meth:`~repro.sim.kernel.SimKernel.wake`.  Without it
+  the default contract applies: busy components are revisited next
+  cycle, idle ones sleep.  Components relying on the default must be
+  woken by their producers at every idle→busy transition (a router when
+  a flit arrives, an NI when a packet is injected...).
+
 Purely *reactive* state-holders (NUCA banks, the memory controller — they
 act only when a message or scheduled event calls into them) still register
-with the kernel as **passive** components (``tick=False``): they are never
-ticked, but their ``has_work()`` participates in wedge snapshots so a
-stuck simulation can name the component holding state.
+with the kernel as **passive** components (``passive=True``): they are
+never scheduled — waking one raises — but their ``has_work()``
+participates in wedge snapshots so a stuck simulation can name the
+component holding state.
 """
 
 from __future__ import annotations

@@ -1,12 +1,36 @@
-"""The simulation kernel: one clock, phase-ordered components, one loop.
+"""The simulation kernel: one clock, phase-ordered components, wakeups.
 
 A :class:`SimKernel` owns the global cycle counter and an ordered list of
-*phases*; each phase holds the components ticked during it.  ``step()``
-advances the clock by one and ticks every active component phase by phase
-— the stage ordering the hand-written loops used to encode positionally
-(network frame setup → arrival delivery → routers → NIs → local delivery
-→ CMP events → tiles) becomes explicit, named, and extensible: a subsystem
-joins the simulation by registering components, not by editing the loop.
+*phases*; each phase holds the components ticked during it.  The stage
+ordering the hand-written loops used to encode positionally (network
+frame setup → arrival delivery → routers → NIs → local delivery → CMP
+events → tiles) is explicit, named, and extensible: a subsystem joins
+the simulation by registering components, not by editing the loop.
+
+Scheduling is **event-driven**: instead of polling every component every
+cycle, the kernel keeps a timestamp-ordered wakeup heap plus per-phase
+active sets.  A component is visited only on cycles it (or a producer
+acting on it) asked for via :meth:`SimKernel.wake`; after every visit it
+is re-armed from its *idleness contract*:
+
+- a component exposing ``next_wake(cycle)`` names the next cycle it
+  needs service (or ``None`` to sleep until woken) — timed components
+  like the reliability layer's retransmission deadlines or the sampler's
+  interval boundaries;
+- otherwise the default contract applies: busy (``has_work()``) means
+  "visit me again next cycle", idle means sleep until a producer wakes
+  it.
+
+Every visit re-checks ``has_work()`` before ticking, so a *spurious*
+wake is always harmless — the correctness obligation on producers is
+only that no component is left busy without a pending wake.  Execution
+order is deterministic regardless of wake arrival order: due wakeups
+drain into their phase's active set and each set is swept in
+(phase order, registration index) order — exactly the order the
+tick-everything loop used.  ``SimKernel(event_driven=False)`` (or
+``REPRO_KERNEL_MODE=tick``) restores the legacy poll-everything loop,
+which the invariance tests use to prove both schedulers produce
+bit-identical results.
 
 Instrumentation is opt-in and zero-cost when off: ``enable_timing()``
 accumulates wall-clock per phase — and, with ``per_component=True``, per
@@ -21,6 +45,8 @@ it without the kernel knowing about them.
 
 from __future__ import annotations
 
+import heapq
+import os
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -43,30 +69,82 @@ def component_label(component: Component) -> str:
     return type(component).__name__
 
 
+class _Scheduled:
+    """Per-registration scheduling state (one per active component)."""
+
+    __slots__ = (
+        "component", "phase", "order", "next_wake_fn", "heap_due",
+        "queued_for", "queued_next",
+    )
+
+    def __init__(self, component: Component, phase: "Phase", order: int):
+        self.component = component
+        self.phase = phase
+        #: Registration index within the phase — the deterministic
+        #: tie-break for simultaneous wakes.
+        self.order = order
+        self.next_wake_fn = getattr(component, "next_wake", None)
+        #: Earliest heap-scheduled visit cycle (-1: none pending).
+        self.heap_due = -1
+        #: Cycle this registration is already queued in its phase's
+        #: active set for (-1: not queued) — dedups same-cycle wakes.
+        self.queued_for = -1
+        #: Cycle this registration is already queued in its phase's
+        #: *next* active set for — dedups next-cycle re-arms, which
+        #: bypass the heap entirely.
+        self.queued_next = -1
+
+
+def _reg_order(reg: _Scheduled) -> int:
+    return reg.order
+
+
 class Phase:
     """One named stage of the per-cycle loop."""
 
-    __slots__ = ("name", "components")
+    __slots__ = ("name", "components", "index", "pending", "pending_next")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, index: int = 0):
         self.name = name
         self.components: List[Component] = []
+        #: Position in the kernel's sweep order (maintained on insert).
+        self.index = index
+        #: This cycle's active set: registrations due for a visit.
+        self.pending: List[_Scheduled] = []
+        #: Next cycle's active set — busy components re-arm here instead
+        #: of round-tripping through the wakeup heap (the heap is for
+        #: *timed* wakes; the next-cycle case is the hot path).
+        self.pending_next: List[_Scheduled] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Phase({self.name!r}, {len(self.components)} components)"
 
 
 class SimKernel:
-    """Global clock + phase-ordered component schedule + stats registry."""
+    """Global clock + phase-ordered wakeup schedule + stats registry."""
 
-    def __init__(self) -> None:
+    def __init__(self, event_driven: Optional[bool] = None) -> None:
         self.cycle = 0
         self.stats = StatsRegistry()
+        if event_driven is None:
+            event_driven = os.environ.get("REPRO_KERNEL_MODE", "event") != "tick"
+        self._event_driven = bool(event_driven)
         self._phases: List[Phase] = []
         self._phase_by_name: Dict[str, Phase] = {}
         #: Registered but never ticked (reactive state-holders); they count
         #: for idle detection and wedge snapshots only.
         self._passive: List[Tuple[str, Component]] = []
+        #: id(component) -> scheduling record (None marks passive).
+        self._reg_of: Dict[int, Optional[_Scheduled]] = {}
+        #: Timestamp-ordered wakeup heap of ``(due, seq, record)``.
+        self._heap: List[Tuple[int, int, _Scheduled]] = []
+        self._seq = 0
+        #: Index of the phase currently being swept (None outside step).
+        self._sweep_index: Optional[int] = None
+        #: Idle-efficiency counters (the ``kernel`` stat group).
+        self.cycles_total = 0
+        self.component_wakes = 0
+        self.wakes_skipped = 0
         self._timing = False
         self._component_timing = False
         self._tracer: Optional[Tracer] = None
@@ -79,6 +157,10 @@ class SimKernel:
         #: Free-form state notes from attached subsystems (telemetry
         #: sampler/tracer...); rendered by :meth:`describe`.
         self.annotations: Dict[str, str] = {}
+
+    @property
+    def event_driven(self) -> bool:
+        return self._event_driven
 
     # -- registration -------------------------------------------------------
     def add_phase(self, name: str, *, before: Optional[str] = None) -> Phase:
@@ -98,19 +180,39 @@ class SimKernel:
             self._phases.insert(self._phases.index(anchor), phase)
         else:
             self._phases.append(phase)
+        for index, existing_phase in enumerate(self._phases):
+            existing_phase.index = index
         self._phase_by_name[name] = phase
         return phase
 
     def register(
-        self, component: Component, phase: str = "main", *, tick: bool = True
+        self,
+        component: Component,
+        phase: str = "main",
+        *,
+        tick: bool = True,
+        passive: bool = False,
     ) -> None:
         """Add a component to a phase (creating the phase at the end of the
-        current order if needed).  ``tick=False`` registers a passive
-        component: tracked for diagnostics, never ticked."""
-        if not tick:
+        current order if needed).
+
+        ``passive=True`` registers a reactive state-holder: tracked for
+        idle detection and wedge snapshots, never scheduled — waking it
+        raises.  (``tick=False`` is the legacy spelling of the same
+        contract.)  Active components are primed with a wake on the next
+        cycle; their first visit either ticks them or lets their
+        idleness contract put them to sleep.
+        """
+        if passive or not tick:
             self._passive.append((phase, component))
+            self._reg_of[id(component)] = None
             return
-        self.add_phase(phase).components.append(component)
+        phase_obj = self.add_phase(phase)
+        reg = _Scheduled(component, phase_obj, len(phase_obj.components))
+        phase_obj.components.append(component)
+        self._reg_of[id(component)] = reg
+        if self._event_driven:
+            self._schedule(reg, self.cycle + 1)
 
     def phases(self) -> Tuple[str, ...]:
         return tuple(phase.name for phase in self._phases)
@@ -119,6 +221,63 @@ class SimKernel:
         if phase is not None:
             return list(self._phase_by_name[phase].components)
         return [c for p in self._phases for c in p.components]
+
+    # -- wakeup scheduling --------------------------------------------------
+    def wake(self, component: Component, cycle: Optional[int] = None) -> None:
+        """Request a visit of ``component`` at ``cycle`` (default: as soon
+        as legal).
+
+        Producers call this at every state transition that can make a
+        sleeping component busy.  Wakes are normalised so the phase sweep
+        stays deterministic: a wake landing mid-step can only target the
+        *current* cycle if the component's phase has not been swept yet;
+        anything else (including wakes scheduled in the past) rounds up
+        to the next cycle.  Duplicate wakes coalesce; spurious wakes are
+        harmless because every visit re-checks ``has_work()``.
+        """
+        reg = self._reg_of.get(id(component))
+        if reg is None:
+            if id(component) in self._reg_of:
+                raise ValueError(
+                    f"passive component {component_label(component)} "
+                    "cannot be scheduled"
+                )
+            raise KeyError(
+                f"cannot wake unregistered component "
+                f"{component_label(component)}"
+            )
+        if not self._event_driven:
+            return
+        now = self.cycle
+        sweeping = self._sweep_index
+        if sweeping is not None and reg.phase.index > sweeping:
+            earliest = now
+        else:
+            earliest = now + 1
+        at = earliest if cycle is None or cycle < earliest else cycle
+        if at == now:
+            if reg.queued_for != now:
+                reg.queued_for = now
+                reg.phase.pending.append(reg)
+            return
+        self._schedule(reg, at)
+
+    def _schedule(self, reg: _Scheduled, at: int) -> None:
+        if at == self.cycle + 1:
+            # Hot path: next-cycle revisit goes straight into the phase's
+            # next active set — no heap traffic.  A stale heap entry for a
+            # later cycle may still fire; the visit it triggers re-checks
+            # ``has_work()`` and is a no-op unless a legitimate wake
+            # queued the component for that cycle anyway.
+            if reg.queued_next != at:
+                reg.queued_next = at
+                reg.phase.pending_next.append(reg)
+            return
+        if reg.heap_due != -1 and reg.heap_due <= at:
+            return
+        reg.heap_due = at
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, reg))
 
     # -- instrumentation ----------------------------------------------------
     def enable_timing(
@@ -153,12 +312,139 @@ class SimKernel:
         """Advance one cycle; returns the new cycle number."""
         self.cycle += 1
         cycle = self.cycle
+        self.cycles_total += 1
+        if not self._event_driven:
+            if self._timing or self._tracer is not None:
+                return self._step_instrumented(cycle)
+            return self._step_tick_all(cycle)
+        # Promote the next-cycle active sets queued by the previous sweep
+        # (the heap-free re-arm path), stamping the same-cycle dedup
+        # marker the heap drain and same-cycle wakes both check.
+        for phase in self._phases:
+            nxt = phase.pending_next
+            if nxt:
+                for reg in nxt:
+                    reg.queued_for = cycle
+                pending = phase.pending
+                if pending:
+                    pending.extend(nxt)
+                    nxt.clear()
+                else:
+                    phase.pending_next = pending
+                    phase.pending = nxt
+        # Drain every wakeup due by now into its phase's active set.
+        # Entries whose record has since been superseded (an earlier wake
+        # coalesced them) or rescheduled into the future are skipped; a
+        # fast-forwarded clock makes stale timed entries fire late, which
+        # interval components treat as an off-boundary no-op.
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            _, _, reg = heapq.heappop(heap)
+            if reg.heap_due == -1 or reg.heap_due > cycle:
+                continue
+            reg.heap_due = -1
+            if reg.queued_for != cycle:
+                reg.queued_for = cycle
+                reg.phase.pending.append(reg)
         if self._timing or self._tracer is not None:
-            return self._step_instrumented(cycle)
+            return self._sweep_instrumented(cycle)
+        wakes = 0
+        skipped = 0
+        nxt_cycle = cycle + 1
+        for phase in self._phases:
+            pending = phase.pending
+            if not pending:
+                continue
+            self._sweep_index = phase.index
+            phase.pending = []
+            if len(pending) > 1:
+                pending.sort(key=_reg_order)
+            pending_next = phase.pending_next
+            for reg in pending:
+                component = reg.component
+                fn = reg.next_wake_fn
+                if component.has_work():
+                    component.tick(cycle)
+                    wakes += 1
+                    if fn is None:
+                        if component.has_work() and reg.queued_next != nxt_cycle:
+                            reg.queued_next = nxt_cycle
+                            pending_next.append(reg)
+                        continue
+                else:
+                    skipped += 1
+                    if fn is None:
+                        continue
+                nxt = fn(cycle)
+                if nxt is not None:
+                    self._schedule(reg, nxt if nxt > cycle else nxt_cycle)
+        self.component_wakes += wakes
+        self.wakes_skipped += skipped
+        self._sweep_index = None
+        return cycle
+
+    def _sweep_instrumented(self, cycle: int) -> int:
+        tracer = self._tracer
+        per_component = self._component_timing
+        for phase in self._phases:
+            if not phase.pending:
+                continue
+            self._sweep_index = phase.index
+            pending = phase.pending
+            phase.pending = []
+            if len(pending) > 1:
+                pending.sort(key=_reg_order)
+            start = time.perf_counter() if self._timing else 0.0
+            ticked_count = 0
+            for reg in pending:
+                component = reg.component
+                if component.has_work():
+                    if tracer is not None:
+                        tracer(cycle, phase.name, component)
+                    if per_component:
+                        t0 = time.perf_counter()
+                        component.tick(cycle)
+                        key = (phase.name, component_label(component))
+                        self.component_seconds[key] = self.component_seconds.get(
+                            key, 0.0
+                        ) + (time.perf_counter() - t0)
+                        self.component_ticks[key] = (
+                            self.component_ticks.get(key, 0) + 1
+                        )
+                    else:
+                        component.tick(cycle)
+                    ticked_count += 1
+                    self.component_wakes += 1
+                    ticked = True
+                else:
+                    self.wakes_skipped += 1
+                    ticked = False
+                fn = reg.next_wake_fn
+                if fn is not None:
+                    nxt = fn(cycle)
+                    if nxt is not None:
+                        self._schedule(reg, nxt if nxt > cycle else cycle + 1)
+                elif ticked and component.has_work():
+                    self._schedule(reg, cycle + 1)
+            if self._timing:
+                name = phase.name
+                self.phase_seconds[name] = self.phase_seconds.get(
+                    name, 0.0
+                ) + (time.perf_counter() - start)
+                self.phase_ticks[name] = (
+                    self.phase_ticks.get(name, 0) + ticked_count
+                )
+        self._sweep_index = None
+        return cycle
+
+    def _step_tick_all(self, cycle: int) -> int:
         for phase in self._phases:
             for component in phase.components:
                 if component.has_work():
                     component.tick(cycle)
+                    self.component_wakes += 1
+                else:
+                    self.wakes_skipped += 1
         return cycle
 
     def _step_instrumented(self, cycle: int) -> int:
@@ -184,6 +470,9 @@ class SimKernel:
                     else:
                         component.tick(cycle)
                     ticked += 1
+                    self.component_wakes += 1
+                else:
+                    self.wakes_skipped += 1
             if self._timing:
                 name = phase.name
                 self.phase_seconds[name] = self.phase_seconds.get(
@@ -213,6 +502,21 @@ class SimKernel:
         return self.cycle - start
 
     # -- diagnostics --------------------------------------------------------
+    def kernel_counters(self) -> Dict[str, int]:
+        """Idle-efficiency counters — the ``kernel`` stat group.
+
+        ``component_wakes`` is the number of component visits that
+        actually ticked; ``wakes_skipped`` counts visits gated off by
+        ``has_work()`` (in tick-all mode: every poll of an idle
+        component).  The tick-everything cost this kernel replaced is
+        ``cycles_total × registered components``.
+        """
+        return {
+            "cycles_total": self.cycles_total,
+            "component_wakes": self.component_wakes,
+            "wakes_skipped": self.wakes_skipped,
+        }
+
     def idle(self) -> bool:
         """True when no component (active or passive) reports work."""
         return not self.busy_components()
@@ -244,10 +548,22 @@ class SimKernel:
         """A schedule + instrumentation summary (debug aid).
 
         One line per phase (component/busy counts), one per passive phase,
-        plus the instrumentation state (timing/tracer) and any subsystem
-        :attr:`annotations` (e.g. the telemetry sampler's window setting).
+        plus the scheduler's active-set fraction, the instrumentation
+        state (timing/tracer) and any subsystem :attr:`annotations`
+        (e.g. the telemetry sampler's window setting).
         """
         lines = [f"cycle {self.cycle}"]
+        active_slots = sum(len(p.components) for p in self._phases)
+        visits = self.component_wakes + self.wakes_skipped
+        denom = self.cycles_total * active_slots
+        fraction = visits / denom if denom else 0.0
+        lines.append(
+            "  kernel: "
+            + ("event-driven" if self._event_driven else "tick-all")
+            + f", {self.cycles_total} cycles, "
+            f"{self.component_wakes} wakes ({self.wakes_skipped} skipped), "
+            f"active-set fraction {fraction:.1%}"
+        )
         lines.append(
             "  instrumentation: timing="
             + ("on" if self._timing else "off")

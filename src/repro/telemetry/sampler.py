@@ -98,6 +98,10 @@ class TimeSeriesSampler:
     def has_work(self) -> bool:
         return True  # the off-boundary tick is a single modulo
 
+    def next_wake(self, cycle: int) -> int:
+        """Idleness contract: timed wakeup at the next window boundary."""
+        return cycle + self.interval - cycle % self.interval
+
     def tick(self, cycle: int) -> None:
         if cycle % self.interval:
             return

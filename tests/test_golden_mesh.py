@@ -56,3 +56,51 @@ def test_default_mesh_counter_snapshots_are_golden(scheme):
         f"default-mesh {scheme} run diverged from the pre-refactor golden "
         f"digest — the Table 2 fabric is no longer bit-identical"
     )
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN_DIGESTS))
+def test_tick_all_kernel_reproduces_the_goldens(scheme, monkeypatch):
+    """Event-vs-tick invariance: the legacy poll-everything scheduler must
+    hit the same five digests as the wakeup scheduler.
+
+    The runner keys its memo and disk caches on the kernel mode, so this
+    is a genuinely independent tick-all run, not a cache readback.
+    """
+    monkeypatch.setenv("REPRO_KERNEL_MODE", "tick")
+    spec = RunSpec(
+        scheme=scheme, workload="blackscholes",
+        accesses_per_core=QUICK_ACCESSES,
+    )
+    result = run_spec(spec)
+    assert result_digest(result) == GOLDEN_DIGESTS[scheme], (
+        f"tick-all {scheme} run diverged from the golden digest — the "
+        f"event-driven scheduler is not behaviour-preserving"
+    )
+
+
+def test_kernels_agree_under_telemetry(monkeypatch):
+    """Mode invariance with the telemetry layer attached (sampler interval
+    = a timed wakeup every 64 cycles, plus per-packet tracing).
+
+    The ``kernel`` stat group (idle-efficiency counters) measures the
+    scheduler itself, so it is popped before comparing; everything else
+    must match field for field.
+    """
+    spec = RunSpec(
+        scheme="disco", workload="blackscholes",
+        accesses_per_core=QUICK_ACCESSES,
+        stats_interval=64, trace_packets=True,
+    )
+    results = {}
+    for mode in ("event", "tick"):
+        monkeypatch.setenv("REPRO_KERNEL_MODE", mode)
+        results[mode] = run_spec(spec)
+
+    def strip(snapshot):
+        return {g: snapshot[g] for g in snapshot if g != "kernel"}
+
+    event, tick = results["event"], results["tick"]
+    assert strip(event.snapshot_full) == strip(tick.snapshot_full)
+    assert strip(event.snapshot_measured) == strip(tick.snapshot_measured)
+    assert event.cycles == tick.cycles
+    assert event.avg_miss_latency == tick.avg_miss_latency

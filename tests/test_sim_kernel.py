@@ -198,6 +198,242 @@ class TestStatsRegistry:
         assert clone.flat() == {"flits": 7}
 
 
+class SleepyRecorder(Recorder):
+    """A Recorder with the explicit 'sleep unless woken' idleness contract.
+
+    ``next_wake`` returning ``None`` opts out of the default busy →
+    revisit-next-cycle re-arm, so the *only* thing that can keep this
+    component running is an explicit :meth:`SimKernel.wake`.
+    """
+
+    def next_wake(self, cycle):
+        return None
+
+
+class TestWakeupEdgeCases:
+    """Corner cases of the event-driven scheduler (wake normalisation,
+    dedup, phase ordering, timed wakeups)."""
+
+    def test_self_wake_during_tick_revisits_next_cycle(self):
+        kernel = SimKernel()
+        trace = []
+
+        class SelfWaker(SleepyRecorder):
+            def tick(self, cycle):
+                super().tick(cycle)
+                if len(trace) < 3:
+                    kernel.wake(self)
+
+        kernel.register(SelfWaker("self", trace))
+        for _ in range(6):
+            kernel.step()
+        # Exactly one visit per cycle while self-waking, then sleep.
+        assert trace == [(1, "self"), (2, "self"), (3, "self")]
+        counters = kernel.kernel_counters()
+        assert counters["component_wakes"] == 3
+        assert counters["wakes_skipped"] == 0
+
+    def test_busy_self_wake_does_not_double_tick(self):
+        kernel = SimKernel()
+        trace = []
+
+        class Noisy(Recorder):
+            def tick(self, cycle):
+                super().tick(cycle)
+                # Redundant with the default busy re-arm contract, and
+                # with each other: all three must coalesce to one visit.
+                kernel.wake(self)
+                kernel.wake(self, cycle + 1)
+
+        kernel.register(Noisy("noisy", trace, busy=True))
+        for _ in range(4):
+            kernel.step()
+        assert trace == [(1, "noisy"), (2, "noisy"), (3, "noisy"), (4, "noisy")]
+
+    def test_wake_in_the_past_rounds_up_to_next_cycle(self):
+        kernel = SimKernel()
+        trace = []
+        comp = SleepyRecorder("one-shot", trace)
+        kernel.register(comp)
+        for _ in range(5):
+            kernel.step()
+        assert trace == [(1, "one-shot")]  # primed once, then slept
+        kernel.wake(comp, cycle=2)  # cycle 2 is long gone
+        kernel.step()
+        assert trace == [(1, "one-shot"), (6, "one-shot")]
+
+    def test_simultaneous_cross_phase_wakes_preserve_phase_order(self):
+        kernel = SimKernel()
+        trace = []
+        beta = SleepyRecorder("b", trace)
+        alpha = SleepyRecorder("a", trace)
+        kernel.register(beta, phase="beta")
+        kernel.register(alpha, phase="alpha")
+        kernel.step()  # prime visits at cycle 1
+        trace.clear()
+        # Wake in reverse phase order for the same future cycle ...
+        kernel.wake(alpha, cycle=4)
+        kernel.wake(beta, cycle=4)
+        for _ in range(3):
+            kernel.step()
+        # ... the sweep still runs them in phase (registration) order.
+        assert trace == [(4, "b"), (4, "a")]
+
+    def test_simultaneous_wakes_within_a_phase_follow_registration_order(self):
+        kernel = SimKernel()
+        trace = []
+        first = SleepyRecorder("first", trace)
+        second = SleepyRecorder("second", trace)
+        kernel.register(first, phase="p")
+        kernel.register(second, phase="p")
+        kernel.step()
+        trace.clear()
+        kernel.wake(second, cycle=3)
+        kernel.wake(first, cycle=3)
+        kernel.step()
+        kernel.step()
+        assert trace == [(3, "first"), (3, "second")]
+
+    def test_producer_wake_lands_same_cycle_only_downstream(self):
+        kernel = SimKernel()
+        up_trace, mid_trace, down_trace = [], [], []
+        upstream = Recorder("up", up_trace, busy=False)
+        downstream = Recorder("down", down_trace, busy=False)
+
+        class Producer(SleepyRecorder):
+            def tick(self, cycle):
+                super().tick(cycle)
+                upstream.busy = True
+                downstream.busy = True
+                kernel.wake(upstream)
+                kernel.wake(downstream)
+
+        kernel.register(upstream, phase="pre")
+        kernel.register(Producer("prod", mid_trace), phase="mid")
+        kernel.register(downstream, phase="post")
+        kernel.step()
+        kernel.step()
+        assert mid_trace == [(1, "prod")]
+        # The not-yet-swept phase is reached the same cycle; the
+        # already-swept one must wait for the next cycle.
+        assert down_trace[0] == (1, "down")
+        assert up_trace[0] == (2, "up")
+
+    def test_timed_next_wake_sleeps_between_deadlines(self):
+        kernel = SimKernel()
+        trace = []
+
+        class Timer(Recorder):
+            def next_wake(self, cycle):
+                return cycle + 5
+
+        kernel.register(Timer("timer", trace, busy=True))
+        for _ in range(12):
+            kernel.step()
+        assert trace == [(1, "timer"), (6, "timer"), (11, "timer")]
+        counters = kernel.kernel_counters()
+        assert counters["cycles_total"] == 12
+        assert counters["component_wakes"] == 3  # no visits in between
+        assert counters["wakes_skipped"] == 0
+
+    def test_superseded_heap_entry_never_causes_a_visit(self):
+        kernel = SimKernel()
+        trace = []
+        comp = Recorder("sleeper", trace, busy=False)
+        kernel.register(comp)
+        kernel.wake(comp, cycle=10)
+        kernel.wake(comp, cycle=3)  # supersedes the cycle-10 entry
+        for _ in range(12):
+            kernel.step()
+        assert trace == []  # never busy, so never ticked
+        counters = kernel.kernel_counters()
+        # Prime visit at cycle 1 + the coalesced wake at cycle 3; the
+        # stale cycle-10 heap entry is dropped in the drain, not visited.
+        assert counters["wakes_skipped"] == 2
+        assert counters["component_wakes"] == 0
+
+    def test_wake_unregistered_or_passive_raises(self):
+        kernel = SimKernel()
+        with pytest.raises(KeyError, match="unregistered"):
+            kernel.wake(Recorder("ghost", []))
+        passive = Recorder("passive", [])
+        kernel.register(passive, passive=True)
+        with pytest.raises(ValueError, match="passive"):
+            kernel.wake(passive)
+
+
+class TestEventTickInvariance:
+    """The two schedulers must be observationally identical: same
+    deliveries, same cycle counts, same counters (minus the ``kernel``
+    idle-efficiency group, which measures the scheduler itself)."""
+
+    @staticmethod
+    def _drain(event_driven):
+        kernel = SimKernel(event_driven=event_driven)
+        network = Network(NocConfig(width=4, height=4), kernel=kernel)
+        delivered = []
+        network.set_delivery_handler(
+            lambda node, p: delivered.append((node, p.src, p.dst))
+        )
+        for i in range(12):
+            network.send(Packet(PacketType.REQUEST, i % 16, (i * 5 + 3) % 16))
+        network.run_until_quiescent(max_cycles=10_000)
+        snapshot = dict(network.kernel.stats.snapshot())
+        snapshot.pop("kernel", None)
+        return delivered, snapshot, network.cycle
+
+    def test_network_drain_is_mode_invariant(self):
+        event = self._drain(event_driven=True)
+        tick = self._drain(event_driven=False)
+        assert event == tick
+
+    @staticmethod
+    def _recovered_drop(event_driven):
+        """A retransmission deadline (timed wakeup) firing mid-drain."""
+        from repro.faults import FaultController, FaultPlan, ScheduledFault
+
+        kernel = SimKernel(event_driven=event_driven)
+        network = Network(
+            NocConfig(width=4, height=4, retransmission=True, retx_timeout=64),
+            kernel=kernel,
+        )
+        delivered = []
+        network.set_delivery_handler(lambda node, p: delivered.append(p))
+        network.attach_faults(
+            FaultController(
+                FaultPlan(
+                    seed=1, scheduled=(ScheduledFault(cycle=1, kind="drop"),)
+                ),
+                raise_on_violation=False,
+            )
+        )
+        for _ in range(3):
+            network.tick()  # arm the scheduled drop
+        line = bytes(range(64))
+        network.send(
+            Packet(
+                PacketType.RESPONSE, 0, 15, line=line,
+                compressible=True, decompress_at_dst=True,
+            )
+        )
+        network.run_until_quiescent(max_cycles=50_000)
+        return delivered, network
+
+    def test_retx_deadline_fires_identically_in_both_modes(self):
+        event_delivered, event_net = self._recovered_drop(event_driven=True)
+        tick_delivered, tick_net = self._recovered_drop(event_driven=False)
+        # The drop really forced the retransmission timer to fire ...
+        assert event_net.recovered.retransmissions >= 1
+        # ... and both schedulers recovered identically.
+        assert len(event_delivered) == len(tick_delivered) == 1
+        assert event_delivered[0].line == tick_delivered[0].line
+        assert (
+            event_net.recovered.retransmissions
+            == tick_net.recovered.retransmissions
+        )
+        assert event_net.cycle == tick_net.cycle
+
+
 class TestNetworkOnKernel:
     def test_network_registers_phases_in_order(self):
         network = Network(NocConfig(width=2, height=2))

@@ -215,7 +215,14 @@ class TestTelemetryOffInvariance:
         off_groups = off.snapshot_full.to_dict()
         on_groups = on.snapshot_full.to_dict()
         assert "telemetry" not in off_groups
+        assert "kernel" not in off_groups
         assert on_groups.pop("telemetry")["trace_events"] > 0
+        # The kernel idle-efficiency group rides the telemetry gate; its
+        # counters are scheduler-dependent, not simulation-dependent.
+        kernel_group = on_groups.pop("kernel")
+        # stepped cycles <= simulated cycles (fast-forward jumps the clock)
+        assert 0 < kernel_group["cycles_total"] <= on.cycles
+        assert kernel_group["component_wakes"] > 0
         assert on_groups == off_groups
         assert off.telemetry is None
         assert on.telemetry is not None
