@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Chaos drill: SIGKILL a running campaign, resume it, prove nothing broke.
+
+A reduced fig5-style campaign (five schemes over one quick workload) runs
+in a child process with periodic checkpointing on.  The driver SIGKILLs
+the child at a random point (seeded, so a failing drill replays), then
+relaunches it with ``REPRO_RESUME=1`` and asserts two things:
+
+1. **Byte identity** — the resumed campaign's per-spec digests equal an
+   uninterrupted baseline campaign's, byte for byte; and
+2. **Zero recomputation** — no spec the journal already recorded as
+   ``done`` at kill time is simulated again on resume (the resumed child
+   logs every actual simulation to ``REPRO_SIM_LOG``; that log must be
+   disjoint from the pre-kill done set).
+
+Run:  python examples/chaos_resume.py [n_seeds]
+"""
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SCHEMES = ("baseline", "cc", "cnc", "disco", "ideal")
+
+#: The campaign child.  Digests mirror the golden-mesh test's
+#: ``result_digest`` so identity here means identity there.
+_CHILD = """\
+import hashlib, json, os
+from repro.experiments.runner import RunSpec, run_specs
+
+accesses = int(os.environ.get("CHAOS_ACCESSES", "300"))
+workloads = os.environ.get("CHAOS_WORKLOADS", "blackscholes").split(",")
+specs = [RunSpec(scheme=s, workload=w, accesses_per_core=accesses)
+         for s in %r for w in workloads]
+out = run_specs(specs, jobs=1)
+for spec in specs:
+    result = out[spec]
+    payload = {
+        "full": sorted(result.snapshot_full.flat().items()),
+        "measured": sorted(result.snapshot_measured.flat().items()),
+        "cycles": result.cycles,
+        "avg_miss_latency": result.avg_miss_latency,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    print(f"{spec.scheme}/{spec.workload}:{digest}", flush=True)
+""" % (SCHEMES,)
+
+
+def _child_env(cache_dir, accesses, workloads, **extra):
+    env = dict(
+        os.environ,
+        REPRO_CACHE_DIR=str(cache_dir),
+        CHAOS_ACCESSES=str(accesses),
+        CHAOS_WORKLOADS=",".join(workloads),
+        PYTHONPATH=os.pathsep.join(sys.path),
+    )
+    env.update(extra)
+    return env
+
+
+def _run_campaign(env, timeout=1800):
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if child.returncode != 0:
+        raise RuntimeError(f"campaign child failed:\n{child.stderr}")
+    return dict(
+        line.split(":", 1)
+        for line in child.stdout.splitlines()
+        if ":" in line
+    )
+
+
+def _journal_done_keys(cache_dir):
+    """Spec keys whose *latest* journal state is ``done``."""
+    states = {}
+    try:
+        lines = (
+            Path(cache_dir) / "campaign.journal.jsonl"
+        ).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return set()
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail from the kill
+        states[record.get("key")] = record.get("state")
+    return {key for key, state in states.items() if state == "done"}
+
+
+def _kill_at_random_point(victim, cache_dir, rng, timeout=600):
+    """SIGKILL the campaign somewhere mid-flight: after a seed-chosen
+    number of specs have journaled ``done`` and the in-flight spec has
+    written a checkpoint envelope (so there is both finished work to
+    preserve and mid-run state to lose), plus a random extra delay.  If
+    the child finishes first, the drill reduces to a pure journal/cache
+    replay — still worth asserting."""
+    checkpoints = Path(cache_dir) / "checkpoints"
+    done_target = rng.randint(0, len(SCHEMES) - 2)
+    deadline = time.monotonic() + timeout
+    while (
+        len(_journal_done_keys(cache_dir)) < done_target
+        or not any(checkpoints.glob("*.ckpt"))
+    ):
+        if victim.poll() is not None:
+            return
+        if time.monotonic() > deadline:
+            victim.kill()
+            victim.wait()
+            raise RuntimeError("no kill point appeared before timeout")
+        time.sleep(0.02)
+    remaining = rng.uniform(0.0, 1.5)
+    if victim.poll() is None:
+        time.sleep(remaining)
+    if victim.poll() is None:
+        victim.send_signal(signal.SIGKILL)
+    victim.wait()
+
+
+def drill(seeds=(1, 2, 3), accesses=300, workloads=("blackscholes",)):
+    """Run the kill/resume drill for each seed; raises on any violation."""
+    with tempfile.TemporaryDirectory(prefix="chaos-baseline-") as tmp:
+        baseline = _run_campaign(
+            _child_env(Path(tmp) / "cache", accesses, workloads)
+        )
+    print(f"baseline: {len(baseline)} specs")
+    for name in sorted(baseline):
+        print(f"  {name}: {baseline[name][:16]}...")
+
+    for seed in seeds:
+        rng = random.Random(seed)
+        with tempfile.TemporaryDirectory(prefix=f"chaos-{seed}-") as tmp:
+            cache = Path(tmp) / "cache"
+            env = _child_env(
+                cache, accesses, workloads, REPRO_CHECKPOINT_INTERVAL="400"
+            )
+            victim = subprocess.Popen(
+                [sys.executable, "-c", _CHILD],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            _kill_at_random_point(victim, cache, rng)
+            done_before = _journal_done_keys(cache)
+            sim_log = Path(tmp) / "resumed-simulations.log"
+            resumed = _run_campaign(
+                dict(env, REPRO_RESUME="1", REPRO_SIM_LOG=str(sim_log))
+            )
+
+            if resumed != baseline:
+                diverged = sorted(
+                    name
+                    for name in baseline
+                    if resumed.get(name) != baseline[name]
+                )
+                raise AssertionError(
+                    f"seed {seed}: resumed campaign diverged from the "
+                    f"baseline for {diverged}"
+                )
+            resimulated = (
+                set(sim_log.read_text(encoding="utf-8").split())
+                if sim_log.exists()
+                else set()
+            )
+            recomputed = resimulated & done_before
+            if recomputed:
+                raise AssertionError(
+                    f"seed {seed}: resume re-simulated journaled-done "
+                    f"specs {sorted(recomputed)}"
+                )
+            print(
+                f"seed {seed}: OK — {len(done_before)} specs served from "
+                f"the journal/cache, {len(resimulated)} (re)simulated, "
+                f"digests byte-identical"
+            )
+    print("chaos drill passed: byte-identical resume, zero recomputation")
+
+
+def main():
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    drill(seeds=tuple(range(1, n_seeds + 1)))
+
+
+if __name__ == "__main__":
+    main()

@@ -101,6 +101,33 @@ class HomeBank:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"HomeBank(node={self.node}, {len(self.pending)} pending)"
 
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Directory, open transactions, side stats, and the data array.
+
+        Transactions are captured live: a restored event-queue entry
+        scheduled with ``self._respond, trans, ...`` must resolve to the
+        *same* Transaction object as ``self.pending[addr]``, which the
+        system's single-pickle envelope guarantees.
+        """
+        return {
+            "version": 1,
+            "array": self.array.state_dict(),
+            "directory": dict(self.directory),
+            "pending": dict(self.pending),
+            "side_stats": dict(self.side_stats.__dict__),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported HomeBank state version {state.get('version')!r}"
+            )
+        self.array.load_state(state["array"])
+        self.directory = dict(state["directory"])
+        self.pending = dict(state["pending"])
+        self.side_stats.__dict__.update(state["side_stats"])
+
     # -- message dispatch -----------------------------------------------------
     def handle(self, msg: Message, packet: Optional["Packet"] = None) -> None:
         kind = msg.kind
@@ -188,24 +215,22 @@ class HomeBank:
                 if scheme.send_compressed_from_bank
                 else None
             )
-            self.system.schedule(
-                latency, lambda: self._respond(trans, data, payload)
-            )
+            self.system.schedule(latency, self._respond, trans, data, payload)
             return
         # Bank data miss: fetch the line from memory.
         trans.phase = PH_MEM
         self.side_stats.memory_fetches += 1
+        fetch = Message(
+            kind=MessageKind.MEM_READ,
+            addr=trans.addr,
+            src=self.node,
+            dst=self.system.config.mc_for(trans.addr),
+            requester=trans.requester,
+        )
         self.system.schedule(
             self.system.config.l2_hit_latency,
-            lambda: self.system.send_message(
-                Message(
-                    kind=MessageKind.MEM_READ,
-                    addr=trans.addr,
-                    src=self.node,
-                    dst=self.system.config.mc_for(trans.addr),
-                    requester=trans.requester,
-                )
-            ),
+            self.system.send_message,
+            fetch,
         )
 
     def _respond(self, trans: Transaction, data: bytes, payload) -> None:

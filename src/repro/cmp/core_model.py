@@ -117,3 +117,25 @@ class CoreModel:
     def finished(self, cycle: int) -> None:
         if self.stats.finished_cycle < 0:
             self.stats.finished_cycle = cycle
+
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Replay position + stats; the trace itself is rebuilt from the
+        workload seed, never serialized."""
+        return {
+            "version": 1,
+            "position": self.position,
+            "outstanding": self.outstanding,
+            "next_issue_cycle": self.next_issue_cycle,
+            "stats": dict(self.stats.__dict__),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported CoreModel state version {state.get('version')!r}"
+            )
+        self.position = state["position"]
+        self.outstanding = state["outstanding"]
+        self.next_issue_cycle = state["next_issue_cycle"]
+        self.stats.__dict__.update(state["stats"])

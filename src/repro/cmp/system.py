@@ -16,9 +16,9 @@ registry snapshots — full-run and post-warmup — that the energy model
 from __future__ import annotations
 
 import heapq
-import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cmp.bank import HomeBank
 from repro.cmp.config import SystemConfig
@@ -179,16 +179,21 @@ class SimulationResult:
 
 class EventQueue:
     """Scheduled callbacks (bank latencies, DRAM completions) — a kernel
-    component ticked right after the network phases."""
+    component ticked right after the network phases.
+
+    Entries are ``(due, seq, fn, args)`` with ``fn`` a bound method and
+    ``args`` plain data — never closures — so the queue is serializable by
+    the snapshot protocol (the system path-encodes the bound methods)."""
 
     __slots__ = ("_events", "_seq")
 
     def __init__(self) -> None:
         self._events: List = []
-        self._seq = itertools.count()
+        self._seq = 0
 
-    def schedule(self, due: int, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._events, (due, next(self._seq), fn))
+    def schedule(self, due: int, fn: Callable[..., None], *args) -> None:
+        heapq.heappush(self._events, (due, self._seq, fn, args))
+        self._seq += 1
 
     def next_due(self) -> Optional[int]:
         return self._events[0][0] if self._events else None
@@ -204,8 +209,8 @@ class EventQueue:
     def tick(self, cycle: int) -> None:
         events = self._events
         while events and events[0][0] <= cycle:
-            _, _, fn = heapq.heappop(events)
-            fn()
+            _, _, fn, args = heapq.heappop(events)
+            fn(*args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EventQueue({len(self._events)} scheduled)"
@@ -422,10 +427,13 @@ class CmpSystem:
     def cycle(self) -> int:
         return self.kernel.cycle
 
-    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
-        """Run ``fn`` after ``delay`` cycles (bank latencies, DRAM)."""
+    def schedule(self, delay: int, fn: Callable[..., None], *args) -> None:
+        """Run ``fn(*args)`` after ``delay`` cycles (bank latencies, DRAM).
+
+        ``fn`` must be a bound method of the system or a bank so scheduled
+        work survives a checkpoint (see :meth:`state_dict`)."""
         due = self.cycle + max(0, delay)
-        self.events.schedule(due, fn)
+        self.events.schedule(due, fn, *args)
         # The event queue may be asleep; wake it for the new deadline.
         self.kernel.wake(self.events, due)
 
@@ -493,7 +501,7 @@ class CmpSystem:
                 requester=msg.requester,
                 data=data,
             )
-            self.schedule(done - self.cycle, lambda: self.send_message(reply))
+            self.schedule(done - self.cycle, self.send_message, reply)
         else:
             assert msg.data is not None
             if packet.is_compressed:  # pragma: no cover - defensive
@@ -527,23 +535,125 @@ class CmpSystem:
             return self.scheme.decompression_cycles
         return 0
 
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Complete mutable state of the system for the snapshot protocol.
+
+        The returned dict must be pickled as ONE object: packets, messages
+        and transactions appear in several sub-states (a VC, the replay
+        buffer, the event queue) and pickle's memoization is what keeps
+        those references aliased after a restore.  Static structure —
+        configs, traces, topology, the compression algorithm — is rebuilt
+        from the spec, never serialized.
+        """
+        from repro.noc.flit import pid_watermark
+
+        return {
+            "version": 1,
+            "kernel": self.kernel.snapshot(),
+            "pid_watermark": pid_watermark(),
+            "events": self._export_events(),
+            "network": self.network.state_dict(),
+            "tiles": [tile.state_dict() for tile in self.tiles],
+            "banks": [bank.state_dict() for bank in self.banks],
+            "memory": self.memory.state_dict(),
+            "pool": self.pool.state_dict(),
+            "snapshot": self._snapshot,
+            "measure_start_cycle": self._measure_start_cycle,
+        }
+
+    def load_state(self, state: Dict) -> None:
+        """Restore into a freshly-constructed system (``prefill=False``).
+
+        The pid floor is raised past the checkpoint's watermark so packets
+        created after the restore can never collide with restored pids in
+        the tracer/integrity/reliability ledgers.
+        """
+        from repro.noc.flit import ensure_pid_floor
+
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported CmpSystem state version {state.get('version')!r}"
+            )
+        self.kernel.restore(state["kernel"])
+        ensure_pid_floor(state["pid_watermark"])
+        self.network.load_state(state["network"])
+        for tile, saved in zip(self.tiles, state["tiles"]):
+            tile.load_state(saved)
+        for bank, saved in zip(self.banks, state["banks"]):
+            bank.load_state(saved)
+        self.memory.load_state(state["memory"])
+        self.pool.load_state(state["pool"])
+        self._import_events(state["events"])
+        self._snapshot = state["snapshot"]
+        self._measure_start_cycle = state["measure_start_cycle"]
+
+    def _export_events(self) -> Dict:
+        """Event-queue entries with bound methods replaced by paths.
+
+        Only system- and bank-owned methods are ever scheduled (the
+        :meth:`schedule` contract); anything else is a programming error
+        surfaced here rather than as an unpicklable checkpoint.
+        """
+        entries = []
+        for due, seq, fn, args in self.events._events:
+            owner = getattr(fn, "__self__", None)
+            if owner is self:
+                path: Tuple = ("system", fn.__name__)
+            elif isinstance(owner, HomeBank):
+                path = ("bank", owner.node, fn.__name__)
+            else:
+                raise TypeError(
+                    f"cannot checkpoint scheduled callback {fn!r}: only "
+                    "bound methods of the system or a home bank survive "
+                    "a snapshot"
+                )
+            entries.append((due, seq, path, args))
+        return {"seq": self.events._seq, "entries": entries}
+
+    def _import_events(self, state: Dict) -> None:
+        events: List = []
+        for due, seq, path, args in state["entries"]:
+            if path[0] == "system":
+                fn = getattr(self, path[1])
+            else:
+                fn = getattr(self.banks[path[1]], path[2])
+            events.append((due, seq, fn, args))
+        heapq.heapify(events)
+        self.events._events = events
+        self.events._seq = state["seq"]
+
     # -- the simulation loop ---------------------------------------------------------
     def run(
         self,
         max_cycles: int = _WATCHDOG_LIMIT,
         stall_limit: int = 200_000,
-    ) -> SimulationResult:
+        *,
+        pause_at: Optional[int] = None,
+        checkpoint_fn: Optional[Callable[["CmpSystem"], None]] = None,
+        deadline: Optional[float] = None,
+        progress_fn: Optional[Callable[["CmpSystem"], None]] = None,
+    ) -> Optional[SimulationResult]:
         """Step the shared kernel until every core drained its trace.
 
         ``stall_limit`` is the watchdog window: cycles without any core
         progressing before the run is declared wedged (fault-injection
         tests shrink it so a deliberate wedge fails fast).
+
+        The keyword-only hooks serve the checkpoint/supervision layer and
+        are all inert by default: ``pause_at`` returns ``None`` once the
+        clock reaches it (mid-run state intact, for snapshotting);
+        ``checkpoint_fn`` is called after every step (the callee decides
+        interval and signal handling); ``deadline`` is a cooperative
+        ``time.monotonic()`` budget checked every ~256 steps (raises
+        ``TimeoutError``); ``progress_fn`` is a ~256-step heartbeat hook.
         """
         tiles = self.tiles
         cores = [tile.core for tile in tiles]
         kernel = self.kernel
         last_progress_cycle = 0
         last_outstanding = -1
+        steps = 0
         # Every core's position is capped at its trace length, so the
         # position sum hits this target exactly when every trace has
         # drained — one pass over the cores covers the done check, the
@@ -562,6 +672,20 @@ class CmpSystem:
             kernel.step()
             cycle = kernel.cycle
             self._maybe_snapshot()
+            if pause_at is not None and cycle >= pause_at:
+                return None
+            if checkpoint_fn is not None:
+                checkpoint_fn(self)
+            steps += 1
+            if not steps & 0xFF and (
+                deadline is not None or progress_fn is not None
+            ):
+                if progress_fn is not None:
+                    progress_fn(self)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"simulation exceeded its time budget at cycle {cycle}"
+                    )
             # Watchdog: abort if globally stuck.
             signature = positions + outstanding
             if signature != last_outstanding:

@@ -31,6 +31,18 @@ raises :class:`RunnerError` naming exactly the failed specs while the
 survivors stay in the memo/disk caches.  Disk-cache entries carry a
 magic + SHA-256 envelope; an entry that fails validation is quarantined
 (renamed ``*.corrupt``) once and recomputed.
+
+Crash safety (see :mod:`repro.experiments.checkpoint`): a campaign keeps
+an append-only JSONL journal (``campaign.journal.jsonl`` in the cache
+directory) recording each spec's state (pending/running/done/failed/
+quarantined); ``run_specs(resume=True)`` (or ``REPRO_RESUME=1``) replays
+the journal to skip completed specs, restores partially-run ones from
+their latest checkpoint, and quarantines poison specs after
+``REPRO_QUARANTINE_AFTER`` crash-loops (with a capped, seeded backoff).
+With ``REPRO_WATCHDOG_SECONDS`` set, pool workers write per-pid
+heartbeat files carrying their simulated cycle, and a watchdog thread
+SIGKILLs any worker whose cycle counter freezes past the stall budget —
+wedged, as opposed to merely slow.
 """
 
 from __future__ import annotations
@@ -41,7 +53,9 @@ import logging
 import os
 import pickle
 import random
+import signal
 import tempfile
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as _FutureTimeout
@@ -443,11 +457,27 @@ def _maybe_inject_runner_fault(spec: RunSpec) -> None:
         time.sleep(float(os.environ.get("REPRO_RUNNER_HANG_SECONDS", "5")))
 
 
+def _log_simulation(spec: RunSpec) -> None:
+    """Chaos-test hook: append the spec key to ``REPRO_SIM_LOG`` whenever
+    a simulation actually executes (as opposed to being served from a
+    cache) — a resumed campaign proves zero recomputation by intersecting
+    this log with the journal's done set."""
+    path = os.environ.get("REPRO_SIM_LOG", "").strip()
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(spec_key(spec) + "\n")
+    except OSError:
+        pass
+
+
 def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
     """Build and run one simulation (no caches — the pool workers' entry
     point, importable at module top level so specs pickle across
     processes)."""
     _maybe_inject_runner_fault(spec)
+    _log_simulation(spec)
     config = spec.config()
     scheme = make_scheme(spec.scheme, algorithm=spec.algorithm)
     traces = generate_traces(
@@ -476,8 +506,34 @@ def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
         spec.height,
         spec.seed,
     )
+    # Crash-safe plumbing — all of it collapses to None/no-op under the
+    # default environment, keeping the hot path byte-identical.
+    from repro.experiments import checkpoint as _checkpoint
+
+    session = _checkpoint.session_for(spec)
+    if session is not None:
+        restored = session.maybe_restore(system)
+        if restored is not None:
+            _LOG.info(
+                "[%s] restored checkpoint at cycle %d",
+                spec_key(spec)[:12],
+                restored,
+            )
+    timeout = _spec_timeout()
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    progress = _heartbeat_writer(spec)
     start = time.perf_counter()
-    result = system.run()
+    try:
+        result = system.run(
+            checkpoint_fn=session.step if session is not None else None,
+            deadline=deadline,
+            progress_fn=progress,
+        )
+    finally:
+        if session is not None:
+            session.close()
+    if session is not None:
+        session.on_success()
     if result.profile is not None:
         # Stamp the end-to-end wall clock (simulate + collect) so the
         # campaign aggregate can report cycles/second throughput.
@@ -539,7 +595,7 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _retry_backoff() -> float:
+def _retry_backoff(spec: Optional[RunSpec] = None) -> float:
     """Jittered pause (seconds) before resubmitting a failed spec.
 
     A retry fired immediately after a failure tends to land in the same
@@ -547,7 +603,11 @@ def _retry_backoff() -> float:
     a descriptor-exhaustion spike); a short randomized pause decorrelates
     the attempts.  Base seconds come from ``REPRO_RETRY_BACKOFF``
     (default 0.1; ``0`` disables, unparseable values use the default)
-    and the actual sleep is uniform in [0.5x, 1.5x] of the base.
+    and the actual sleep is uniform in [0.5x, 1.5x] of the base.  When a
+    spec is given the jitter is drawn from a generator seeded by its key
+    — reproducible across runs, decorrelated across specs — instead of
+    the process-global RNG (whose draws would otherwise depend on
+    everything else that consumed randomness first).
     """
     env = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
     base = 0.1
@@ -558,11 +618,12 @@ def _retry_backoff() -> float:
             base = 0.1
     if base <= 0:
         return 0.0
-    return random.uniform(0.5, 1.5) * base
+    rng = random.Random(spec_key(spec)) if spec is not None else random
+    return rng.uniform(0.5, 1.5) * base
 
 
-def _pause_before_retry() -> None:
-    delay = _retry_backoff()
+def _pause_before_retry(spec: Optional[RunSpec] = None) -> None:
+    delay = _retry_backoff(spec)
     if delay > 0:
         time.sleep(delay)
 
@@ -578,6 +639,241 @@ def _spec_timeout() -> Optional[float]:
             return _DEFAULT_SPEC_TIMEOUT
         return value if value > 0 else None
     return _DEFAULT_SPEC_TIMEOUT
+
+
+# --------------------------------------------------------------------------
+# campaign journal (append-only JSONL; the resume ledger)
+# --------------------------------------------------------------------------
+
+
+def _journal_path() -> Path:
+    return cache_dir() / "campaign.journal.jsonl"
+
+
+def _journal_append(key: str, state: str, **extra) -> None:
+    """Append one spec-state record.  Journal I/O failures never take a
+    campaign down — the journal is a recovery aid, not a correctness
+    dependency (results still flow through the content-addressed
+    caches)."""
+    record = {"key": key, "state": state, "ts": time.time()}
+    record.update(extra)
+    path = _journal_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError:
+        pass
+
+
+def _journal_read() -> Dict[str, dict]:
+    """Fold the journal into per-key ``{"state", "attempts"}`` entries.
+
+    Last record wins for ``state``.  Every ``running`` record counts one
+    attempt and any clean terminal record (``done``/``failed``) resets
+    the count, so ``attempts`` measures *consecutive interrupted runs* —
+    a crash between ``running`` and its terminal record leaves the
+    attempt standing, and that asymmetry is exactly what detects
+    crash-looping poison specs.  Torn or unparseable lines (a crash
+    mid-append) are skipped, not fatal.
+    """
+    entries: Dict[str, dict] = {}
+    try:
+        with open(_journal_path(), "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return entries
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail from a crash mid-append
+        key = record.get("key")
+        state = record.get("state")
+        if not isinstance(key, str) or not isinstance(state, str):
+            continue
+        entry = entries.setdefault(key, {"state": state, "attempts": 0})
+        entry["state"] = state
+        if state == "running":
+            entry["attempts"] += 1
+        elif state in ("done", "failed"):
+            entry["attempts"] = 0
+    return entries
+
+
+def _quarantine_after() -> int:
+    """Crash-loop bound: a spec interrupted mid-run this many consecutive
+    times is quarantined on resume instead of retried forever
+    (``REPRO_QUARANTINE_AFTER``, default 3, minimum 1)."""
+    env = os.environ.get("REPRO_QUARANTINE_AFTER", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 3
+
+
+# --------------------------------------------------------------------------
+# heartbeats + watchdog (progress supervision for pool workers)
+# --------------------------------------------------------------------------
+
+
+def _heartbeat_writer(spec: RunSpec):
+    """Progress hook writing this process's heartbeat file, or ``None``
+    when supervision is off (``REPRO_HEARTBEAT_DIR`` unset).
+
+    The heartbeat carries the last simulated cycle: the watchdog
+    distinguishes *wedged* (cycle frozen) from merely *slow* (cycle still
+    advancing), so a loaded machine is never punished.  Writes are atomic
+    (tmp + ``os.replace``) and throttled to roughly one per second.
+    """
+    directory = os.environ.get("REPRO_HEARTBEAT_DIR", "").strip()
+    if not directory:
+        return None
+    path = Path(directory) / f"hb_{os.getpid()}.json"
+    key = spec_key(spec)
+    state = {"last": 0.0}
+
+    def _beat(system: CmpSystem) -> None:
+        now = time.monotonic()
+        if now - state["last"] < 1.0:
+            return
+        state["last"] = now
+        record = {
+            "pid": os.getpid(),
+            "key": key,
+            "cycle": system.cycle,
+            "ts": time.time(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(record))
+            os.replace(tmp_name, path)
+        except OSError:
+            pass
+
+    return _beat
+
+
+def _watchdog_seconds() -> Optional[float]:
+    """Stall threshold for the pool watchdog (``REPRO_WATCHDOG_SECONDS``;
+    unset, 0 or negative disables)."""
+    env = os.environ.get("REPRO_WATCHDOG_SECONDS", "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+class _Watchdog:
+    """Supervises pool workers through their heartbeat files.
+
+    A worker whose cycle counter stops advancing for ``stall_seconds`` is
+    wedged (deadlocked, livelocked, stuck outside the run loop) — as
+    opposed to slow, which keeps the counter moving — and is SIGKILLed.
+    The kill surfaces as ``BrokenProcessPool`` in the parent, whose
+    serial fallback (plus any checkpoint) recovers the lost work.
+    """
+
+    def __init__(self, directory: Path, stall_seconds: float):
+        self.directory = directory
+        self.stall = stall_seconds
+        self.killed: List[int] = []
+        self._seen: Dict[int, Tuple[int, float]] = {}
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._watch, name="repro-watchdog", daemon=True
+        )
+
+    def start(self) -> "_Watchdog":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _watch(self) -> None:
+        poll = min(1.0, self.stall / 2)
+        while not self._stop.wait(poll):
+            self._scan()
+
+    def _scan(self) -> None:
+        now = time.monotonic()
+        try:
+            beats = list(self.directory.glob("hb_*.json"))
+        except OSError:
+            return
+        for path in beats:
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                pid = int(record["pid"])
+                cycle = int(record["cycle"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            last = self._seen.get(pid)
+            if last is None or last[0] != cycle:
+                self._seen[pid] = (cycle, now)
+                continue
+            if now - last[1] < self.stall:
+                continue
+            # Cycle counter frozen past the stall budget: wedged worker.
+            self._seen.pop(pid, None)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            if pid == os.getpid():
+                continue  # a stale file must never self-terminate
+            _LOG.warning(
+                "watchdog: worker %d stalled at cycle %d for %.1fs; killing",
+                pid,
+                cycle,
+                now - last[1],
+            )
+            try:
+                os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+                self.killed.append(pid)
+            except OSError:
+                pass
+
+
+def _start_watchdog() -> Tuple[Optional[_Watchdog], bool]:
+    """Arm worker supervision when configured: point workers at a
+    heartbeat directory (unless the caller pinned one) and start the
+    stall watchdog.  Returns ``(watchdog, env_was_set_here)``."""
+    stall = _watchdog_seconds()
+    if stall is None:
+        return None, False
+    set_here = False
+    directory = os.environ.get("REPRO_HEARTBEAT_DIR", "").strip()
+    if not directory:
+        directory = str(cache_dir() / "heartbeats")
+        os.environ["REPRO_HEARTBEAT_DIR"] = directory
+        set_here = True
+    try:
+        Path(directory).mkdir(parents=True, exist_ok=True)
+    except OSError:
+        pass
+    return _Watchdog(Path(directory), stall).start(), set_here
+
+
+def _stop_watchdog(watchdog: Optional[_Watchdog], set_here: bool) -> None:
+    if watchdog is not None:
+        watchdog.stop()
+    if set_here:
+        os.environ.pop("REPRO_HEARTBEAT_DIR", None)
 
 
 def _store(spec: RunSpec, result: SimulationResult, verbose: bool) -> None:
@@ -600,19 +896,84 @@ def _store(spec: RunSpec, result: SimulationResult, verbose: bool) -> None:
     )
 
 
+def _run_with_alarm(
+    spec: RunSpec, timeout: Optional[float], verbose: bool
+) -> SimulationResult:
+    """``run_spec`` under the same wall-clock bound the pool enforces.
+
+    Serial in-process execution has no future to time out, so the bound
+    is enforced with ``SIGALRM`` (POSIX, main thread only) raising
+    :class:`TimeoutError` in-line; elsewhere the cooperative deadline
+    inside :func:`_simulate` still bounds the run loop itself."""
+    if (
+        timeout is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return run_spec(spec, verbose=verbose)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"spec exceeded {timeout}s: {spec.scheme}:{spec.workload}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run_spec(spec, verbose=verbose)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _journal_outcome(
+    spec: RunSpec,
+    journal: Optional[Dict[RunSpec, str]],
+    out: Dict[RunSpec, SimulationResult],
+    failures: Dict[RunSpec, BaseException],
+) -> None:
+    """Record a resolved spec's terminal journal state (when journaling)."""
+    key = journal.get(spec) if journal else None
+    if key is None:
+        return
+    if spec in out:
+        _journal_append(key, "done")
+    elif spec in failures:
+        _journal_append(key, "failed", error=repr(failures[spec]))
+
+
 def _run_serial(
     misses: Sequence[RunSpec],
     out: Dict[RunSpec, SimulationResult],
     failures: Dict[RunSpec, BaseException],
     verbose: bool,
+    prior: Optional[Dict[RunSpec, BaseException]] = None,
+    journal: Optional[Dict[RunSpec, str]] = None,
 ) -> None:
     """In-process execution with per-spec isolation: one bad spec records
-    a failure instead of aborting the survivors behind it."""
+    a failure instead of aborting the survivors behind it.  Matches the
+    pool path's contract — a per-spec timeout (``REPRO_SPEC_TIMEOUT``,
+    via ``SIGALRM`` plus the run loop's cooperative deadline) and one
+    retry after a jittered pause, the first symptom kept in ``prior``.
+    Journal states are appended per spec as it starts and resolves, so a
+    campaign killed mid-batch leaves an accurate ledger behind."""
+    if prior is None:
+        prior = {}
+    timeout = _spec_timeout()
     for spec in misses:
-        try:
-            out[spec] = run_spec(spec, verbose=verbose)
-        except Exception as exc:
-            failures[spec] = exc
+        if journal and spec in journal:
+            _journal_append(journal[spec], "running")
+        for attempt in (0, 1):
+            try:
+                out[spec] = _run_with_alarm(spec, timeout, verbose)
+            except Exception as exc:
+                if attempt == 0:
+                    prior[spec] = exc
+                    _pause_before_retry(spec)
+                    continue
+                failures[spec] = exc
+            break
+        _journal_outcome(spec, journal, out, failures)
 
 
 def _run_parallel(
@@ -622,6 +983,7 @@ def _run_parallel(
     failures: Dict[RunSpec, BaseException],
     verbose: bool,
     prior: Optional[Dict[RunSpec, BaseException]] = None,
+    journal: Optional[Dict[RunSpec, str]] = None,
 ) -> None:
     """Fan misses out over a process pool, one future per spec.
 
@@ -636,8 +998,14 @@ def _run_parallel(
     cannot hang the batch.
     """
     timeout = _spec_timeout()
+    # The heartbeat directory must be in the environment before the pool
+    # exists so workers inherit it.
+    watchdog, hb_set_here = _start_watchdog()
     pool = ProcessPoolExecutor(max_workers=jobs)
     futures = {spec: pool.submit(_simulate, spec) for spec in misses}
+    if journal:
+        for spec in misses:  # all genuinely dispatched at once
+            _journal_append(journal[spec], "running")
     abandoned = False
     if prior is None:
         prior = {}
@@ -656,7 +1024,7 @@ def _run_parallel(
                             f"spec exceeded {timeout}s: "
                             f"{spec.scheme}:{spec.workload}"
                         )
-                        _pause_before_retry()
+                        _pause_before_retry(spec)
                         futures[spec] = pool.submit(_simulate, spec)
                         continue
                     failures[spec] = TimeoutError(
@@ -666,7 +1034,7 @@ def _run_parallel(
                 except Exception as exc:
                     if attempt == 0:
                         prior[spec] = exc
-                        _pause_before_retry()
+                        _pause_before_retry(spec)
                         futures[spec] = pool.submit(_simulate, spec)
                         continue
                     failures[spec] = exc
@@ -674,6 +1042,7 @@ def _run_parallel(
                     _store(spec, result, verbose)
                     out[spec] = result
                 break
+            _journal_outcome(spec, journal, out, failures)
     except BrokenProcessPool:
         # The pool is unusable (a worker died mid-task, e.g. OOM-kill or
         # a hard crash).  Keep what finished; rerun the rest in-process.
@@ -681,9 +1050,10 @@ def _run_parallel(
         remaining = [
             spec for spec in misses if spec not in out and spec not in failures
         ]
-        _run_serial(remaining, out, failures, verbose)
+        _run_serial(remaining, out, failures, verbose, prior, journal)
     finally:
         pool.shutdown(wait=not abandoned, cancel_futures=True)
+        _stop_watchdog(watchdog, hb_set_here)
 
 
 def _profile_destination(profile_out: Optional[str]) -> Optional[str]:
@@ -726,6 +1096,7 @@ def run_specs(
     jobs: Optional[int] = None,
     verbose: bool = False,
     profile_out: Optional[str] = None,
+    resume: Optional[bool] = None,
 ) -> Dict[RunSpec, SimulationResult]:
     """Resolve a batch of specs, fanning cache misses out over processes.
 
@@ -739,6 +1110,16 @@ def run_specs(
     the batch down with it.  Survivors land in the memo/disk caches and a
     :class:`RunnerError` naming exactly the failed specs is raised at the
     end, with the completed results attached.
+
+    Every batch journals its specs' states (pending/running/done/failed)
+    to ``campaign.journal.jsonl``.  With ``resume=True`` (default: the
+    ``REPRO_RESUME=1`` environment switch) the journal from a crashed
+    campaign is replayed first: completed specs are already served by the
+    caches, partially-run specs restore from their latest checkpoint
+    inside :func:`_simulate`, specs interrupted mid-run get a capped
+    seeded backoff before their next attempt, and specs crash-looped
+    ``REPRO_QUARANTINE_AFTER`` consecutive times are quarantined into the
+    failure set instead of being retried forever.
     """
     ordered: List[RunSpec] = []
     seen = set()
@@ -763,22 +1144,77 @@ def run_specs(
         return out
     failures: Dict[RunSpec, BaseException] = {}
     prior: Dict[RunSpec, BaseException] = {}
-    jobs = default_jobs() if jobs is None else max(1, jobs)
-    jobs = min(jobs, len(misses))
-    if jobs == 1:
-        _run_serial(misses, out, failures, verbose)
-    else:
-        # Workers simulate in their own processes; credit the parent's
-        # counter here so cold/cache-hit detection works either way.
-        global _SIMULATED
-        _SIMULATED += len(misses)
-        _run_parallel(misses, jobs, out, failures, verbose, prior)
+    if resume is None:
+        resume = os.environ.get("REPRO_RESUME", "") == "1"
+    keys = {spec: spec_key(spec) for spec in misses}
+    for spec in misses:
+        _journal_append(keys[spec], "pending")
+    if resume:
+        misses = _replay_journal(misses, keys, failures)
+    resume_set_here = False
+    if resume and os.environ.get("REPRO_RESUME", "") != "1":
+        # Checkpoint restoration inside the workers keys off the
+        # environment; propagate an explicit resume=True to them.
+        os.environ["REPRO_RESUME"] = "1"
+        resume_set_here = True
+    try:
+        jobs = default_jobs() if jobs is None else max(1, jobs)
+        jobs = min(jobs, max(1, len(misses)))
+        if jobs == 1:
+            _run_serial(misses, out, failures, verbose, prior, keys)
+        elif misses:
+            # Workers simulate in their own processes; credit the
+            # parent's counter here so cold/cache-hit detection works
+            # either way.
+            global _SIMULATED
+            _SIMULATED += len(misses)
+            _run_parallel(misses, jobs, out, failures, verbose, prior, keys)
+    finally:
+        if resume_set_here:
+            os.environ.pop("REPRO_RESUME", None)
     # Aggregate profiles before any failure raise, so survivors of a
     # partially-failed batch still land in profile.json.
     _emit_profile(out, profile_out, verbose)
     if failures:
         raise RunnerError(failures, out, prior)
     return out
+
+
+def _replay_journal(
+    misses: Sequence[RunSpec],
+    keys: Dict[RunSpec, str],
+    failures: Dict[RunSpec, BaseException],
+) -> List[RunSpec]:
+    """Apply a crashed campaign's journal to this batch's cache misses:
+    quarantine crash-looped specs, pause (capped, seeded backoff) before
+    re-attempting interrupted ones, and keep the rest."""
+    journal = _journal_read()
+    limit = _quarantine_after()
+    retained: List[RunSpec] = []
+    backoff = 0.0
+    for spec in misses:
+        entry = journal.get(keys[spec])
+        attempts = entry["attempts"] if entry is not None else 0
+        if attempts >= limit:
+            _journal_append(keys[spec], "quarantined", attempts=attempts)
+            failures[spec] = RuntimeError(
+                f"quarantined after {attempts} interrupted attempts: "
+                f"{spec.scheme}:{spec.workload}"
+            )
+            continue
+        if attempts > 0:
+            backoff = max(
+                backoff,
+                min(_retry_backoff(spec) * (2 ** (attempts - 1)), 5.0),
+            )
+        retained.append(spec)
+    if backoff > 0:
+        _LOG.info(
+            "resume: pausing %.2fs before re-attempting interrupted specs",
+            backoff,
+        )
+        time.sleep(backoff)
+    return retained
 
 
 def run_matrix(

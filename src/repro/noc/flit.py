@@ -11,7 +11,6 @@ serialization latency — exactly as hardware would.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Optional
 
 from repro.compression.base import CompressedLine
@@ -20,7 +19,48 @@ from repro.compression.base import CompressedLine
 VNET_REQUEST = 0  # requests + coherence control (single-flit packets)
 VNET_RESPONSE = 1  # data-carrying responses / writebacks
 
-_packet_ids = itertools.count()
+
+class _PidCounter:
+    """Monotonic packet-id source with a peekable watermark.
+
+    ``itertools.count`` cannot report its next value without drawing it,
+    which a checkpoint must never do (drawing would advance the stream).
+    This counter exposes :attr:`value` so :func:`pid_watermark` /
+    :func:`ensure_pid_floor` can capture and restore the allocation
+    point without perturbing it.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0):
+        self.value = start
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
+
+
+_packet_ids = _PidCounter()
+
+
+def pid_watermark() -> int:
+    """The next pid that would be allocated (checkpoint capture)."""
+    return _packet_ids.value
+
+
+def ensure_pid_floor(floor: int) -> None:
+    """Raise the pid allocation point to at least ``floor``.
+
+    Called on checkpoint restore so packets created after the restore can
+    never collide with pids carried by restored in-flight packets (the
+    tracer's decision map, the integrity ledger and the reliability
+    layer's recovered set are all keyed by pid).  Never lowers the
+    counter: a process that restores several systems keeps all of them
+    collision-free.
+    """
+    if _packet_ids.value < floor:
+        _packet_ids.value = floor
 
 
 class PacketType(enum.Enum):

@@ -501,6 +501,101 @@ class SimKernel:
                 )
         return self.cycle - start
 
+    # -- checkpointing ------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Versioned scheduling state: clock, wakeup heap, active sets.
+
+        Components are identified positionally — ``(phase index,
+        registration order)`` — so a snapshot only restores onto a kernel
+        whose phases and components were registered in the identical
+        order (which deterministic construction guarantees).  Heap
+        entries are captured verbatim, stale ones included: a stale entry
+        firing late is part of the schedule's observable behaviour.
+        """
+        state: Dict[str, object] = {
+            "version": 1,
+            "cycle": self.cycle,
+            "event_driven": self._event_driven,
+            "cycles_total": self.cycles_total,
+            "component_wakes": self.component_wakes,
+            "wakes_skipped": self.wakes_skipped,
+            "seq": self._seq,
+        }
+        if self._event_driven:
+            regs = []
+            for phase in self._phases:
+                for component in phase.components:
+                    reg = self._reg_of[id(component)]
+                    assert reg is not None
+                    regs.append(
+                        (phase.index, reg.order, reg.heap_due,
+                         reg.queued_for, reg.queued_next)
+                    )
+            state["regs"] = regs
+            state["heap"] = [
+                (due, seq, reg.phase.index, reg.order)
+                for due, seq, reg in self._heap
+            ]
+            state["pending"] = [
+                [reg.order for reg in phase.pending] for phase in self._phases
+            ]
+            state["pending_next"] = [
+                [reg.order for reg in phase.pending_next]
+                for phase in self._phases
+            ]
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Load a :meth:`snapshot` onto an identically-constructed kernel."""
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported kernel snapshot version {state.get('version')!r}"
+            )
+        if bool(state["event_driven"]) != self._event_driven:
+            raise ValueError(
+                "kernel mode mismatch: snapshot was taken under "
+                + ("event" if state["event_driven"] else "tick")
+                + " scheduling; restore under the same REPRO_KERNEL_MODE"
+            )
+        self.cycle = state["cycle"]
+        self.cycles_total = state["cycles_total"]
+        self.component_wakes = state["component_wakes"]
+        self.wakes_skipped = state["wakes_skipped"]
+        self._seq = state["seq"]
+        self._sweep_index = None
+        if not self._event_driven:
+            return
+        reg_at: Dict[Tuple[int, int], _Scheduled] = {}
+        for phase in self._phases:
+            for component in phase.components:
+                reg = self._reg_of[id(component)]
+                assert reg is not None
+                reg_at[(phase.index, reg.order)] = reg
+        saved_regs = state["regs"]
+        if len(saved_regs) != len(reg_at):
+            raise ValueError(
+                "kernel snapshot does not match this schedule: "
+                f"{len(saved_regs)} saved registrations, "
+                f"{len(reg_at)} present"
+            )
+        for pi, order, heap_due, queued_for, queued_next in saved_regs:
+            reg = reg_at[(pi, order)]
+            reg.heap_due = heap_due
+            reg.queued_for = queued_for
+            reg.queued_next = queued_next
+        heap = [
+            (due, seq, reg_at[(pi, order)])
+            for due, seq, pi, order in state["heap"]
+        ]
+        # The captured list was already heap-ordered; heapify is a cheap
+        # belt-and-braces against hand-edited snapshots.
+        heapq.heapify(heap)
+        self._heap = heap
+        for phase, orders in zip(self._phases, state["pending"]):
+            phase.pending = [reg_at[(phase.index, o)] for o in orders]
+        for phase, orders in zip(self._phases, state["pending_next"]):
+            phase.pending_next = [reg_at[(phase.index, o)] for o in orders]
+
     # -- diagnostics --------------------------------------------------------
     def kernel_counters(self) -> Dict[str, int]:
         """Idle-efficiency counters — the ``kernel`` stat group.

@@ -72,6 +72,27 @@ class ValuePool:
         self._current[addr] = value
         return value
 
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Mutable value-evolution state (write versions + current lines).
+
+        The profile/seed/mix are construction-time constants; only the
+        store-driven evolution needs capturing for a bit-identical resume.
+        """
+        return {
+            "version": 1,
+            "versions": dict(self._versions),
+            "current": dict(self._current),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported ValuePool state version {state.get('version')!r}"
+            )
+        self._versions = dict(state["versions"])
+        self._current = dict(state["current"])
+
     def sample(self, n: int, seed: int = 0) -> List[bytes]:
         """``n`` representative lines (for SC²/FVC training, Table 1)."""
         rng = random.Random((self.seed, seed, n).__hash__())

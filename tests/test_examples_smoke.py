@@ -67,6 +67,13 @@ def test_telemetry_demo_writes_artifacts(tmp_path, monkeypatch, capsys):
     assert check_main([str(tmp_path / "trace.json")]) == 0
 
 
+def test_chaos_resume_single_seed(capsys):
+    chaos = __import__("chaos_resume")
+    chaos.drill(seeds=(1,), accesses=60)
+    output = capsys.readouterr().out
+    assert "chaos drill passed" in output
+
+
 def test_noc_congestion_study_components():
     study = __import__("noc_congestion_study")
     network = study.build_disco_network()

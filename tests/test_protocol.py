@@ -33,12 +33,13 @@ class StubSystem:
     def memory_line(self, addr):
         return self.memory_store.setdefault(addr, self.pool.line(addr))
 
-    def schedule(self, delay, fn):
-        self._deferred.append(fn)
+    def schedule(self, delay, fn, *args):
+        self._deferred.append((fn, args))
 
     def run_deferred(self):
         while self._deferred:
-            self._deferred.pop(0)()
+            fn, args = self._deferred.pop(0)
+            fn(*args)
 
     def send_message(self, msg, compressed_payload=None):
         self.sent.append(msg)

@@ -9,8 +9,10 @@ exactly when it should.
 
 import dataclasses
 import hashlib
+import json
 import os
 import pickle
+import signal
 import subprocess
 import sys
 import time
@@ -45,6 +47,13 @@ def _fresh_caches(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_RUNNER_FAULT", raising=False)
     monkeypatch.delenv("REPRO_SPEC_TIMEOUT", raising=False)
     monkeypatch.delenv("REPRO_RETRY_BACKOFF", raising=False)
+    monkeypatch.delenv("REPRO_RESUME", raising=False)
+    monkeypatch.delenv("REPRO_CHECKPOINT_INTERVAL", raising=False)
+    monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+    monkeypatch.delenv("REPRO_QUARANTINE_AFTER", raising=False)
+    monkeypatch.delenv("REPRO_WATCHDOG_SECONDS", raising=False)
+    monkeypatch.delenv("REPRO_HEARTBEAT_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SIM_LOG", raising=False)
     monkeypatch.setattr(runner, "_JOBS_WARNED", False)
     clear_cache()
     yield
@@ -157,6 +166,47 @@ class TestDiskCache:
             path.write_bytes(b"RDC0" + blob[4:])  # stale envelope magic
 
         self._corrupt_roundtrip(downgrade)
+
+    def test_unpicklable_payload_quarantined_once(self):
+        def repoison(path):
+            # Checksum-valid envelope whose payload is not a pickle at
+            # all: validation passes, reconstruction cannot.
+            payload = b"not a pickle, but faithfully checksummed"
+            path.write_bytes(
+                runner._CACHE_MAGIC
+                + hashlib.sha256(payload).digest()
+                + payload
+            )
+
+        self._corrupt_roundtrip(repoison)
+
+    def test_corrupt_entries_do_not_abort_the_batch(self):
+        """A poisoned entry inside a multi-spec batch is quarantined and
+        recomputed in place; the other specs are untouched."""
+        specs = [
+            RunSpec(scheme=scheme, **QUICK)
+            for scheme in ("baseline", "cc", "disco")
+        ]
+        first = run_specs(specs, jobs=1)
+        for mutate in (
+            lambda blob: blob[:-7],  # truncated
+            lambda blob: b"RDC0" + blob[4:],  # wrong magic
+            lambda blob: (  # checksum-valid but unpicklable
+                runner._CACHE_MAGIC + hashlib.sha256(b"junk").digest() + b"junk"
+            ),
+        ):
+            path = runner._disk_path(specs[1])
+            path.write_bytes(mutate(path.read_bytes()))
+            clear_cache()
+            again = run_specs(specs, jobs=1)
+            for spec in specs:
+                assert dataclasses.asdict(again[spec]) == dataclasses.asdict(
+                    first[spec]
+                )
+        # All three corruptions hit the same entry, so quarantine reuses
+        # one ``.corrupt`` name (last overwrite wins) — never a pile-up.
+        corrupt = list(runner.cache_dir().glob("*.corrupt"))
+        assert len(corrupt) == 1, corrupt
 
     def test_unreadable_entry_quarantined_once(self):
         def replace_with_directory(path):
@@ -385,6 +435,73 @@ class TestFailureContainment:
         assert "injected runner fault" in str(error)
 
 
+class TestSerialTimeout:
+    def test_serial_path_enforces_spec_timeout(self, monkeypatch):
+        """``REPRO_SPEC_TIMEOUT`` must bound serial in-process runs too,
+        not just pool futures: a run that blows its budget raises
+        ``TimeoutError`` through both attempts and lands in the failure
+        set with the first symptom recorded."""
+        monkeypatch.setenv("REPRO_SPEC_TIMEOUT", "0.05")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        spec = RunSpec(
+            scheme="disco", workload="x264", accesses_per_core=2000
+        )
+        with pytest.raises(RunnerError) as excinfo:
+            run_specs([spec], jobs=1)
+        assert isinstance(excinfo.value.failures[spec], TimeoutError)
+        assert isinstance(excinfo.value.prior.get(spec), TimeoutError)
+
+
+class TestWatchdog:
+    def test_heartbeats_carry_the_simulated_cycle(
+        self, tmp_path, monkeypatch
+    ):
+        hb_dir = tmp_path / "hb"
+        monkeypatch.setenv("REPRO_HEARTBEAT_DIR", str(hb_dir))
+        run_spec(RunSpec(scheme="baseline", **QUICK))
+        [beat] = list(hb_dir.glob("hb_*.json"))
+        record = json.loads(beat.read_text(encoding="utf-8"))
+        assert record["pid"] == os.getpid()
+        assert record["cycle"] > 0
+
+    def test_wedged_worker_is_killed_slow_one_is_not(self, tmp_path):
+        """The watchdog kills a process whose heartbeat *cycle* freezes,
+        and only that one — an advancing counter (merely slow) is safe."""
+        hb_dir = tmp_path / "hb"
+        hb_dir.mkdir()
+        sleeper = [sys.executable, "-c", "import time; time.sleep(60)"]
+        wedged = subprocess.Popen(sleeper)
+        slow = subprocess.Popen(sleeper)
+
+        def beat(pid, cycle):
+            (hb_dir / f"hb_{pid}.json").write_text(
+                json.dumps(
+                    {"pid": pid, "key": "k", "cycle": cycle, "ts": 0}
+                ),
+                encoding="utf-8",
+            )
+
+        beat(wedged.pid, 42)
+        cycle = [0]
+        dog = runner._Watchdog(hb_dir, stall_seconds=0.4).start()
+        try:
+            deadline = time.monotonic() + 10
+            while wedged.poll() is None:
+                assert time.monotonic() < deadline, "watchdog never fired"
+                cycle[0] += 1  # the slow worker keeps making progress
+                beat(slow.pid, cycle[0])
+                time.sleep(0.05)
+            assert wedged.wait() == -signal.SIGKILL
+            assert slow.poll() is None  # progressing worker untouched
+        finally:
+            dog.stop()
+            for proc in (wedged, slow):
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait()
+        assert dog.killed == [wedged.pid]
+
+
 class TestRetryBackoff:
     def test_disabled_by_zero(self, monkeypatch):
         monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
@@ -398,6 +515,86 @@ class TestRetryBackoff:
     def test_unparseable_value_falls_back_to_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_RETRY_BACKOFF", "soon-ish")
         assert 0.05 <= runner._retry_backoff() <= 0.15
+
+    def test_spec_seeded_jitter_is_reproducible(self, monkeypatch):
+        """Given a spec, the jitter comes from a generator seeded by its
+        key: identical across calls and processes, decorrelated across
+        specs — not a draw from the process-global RNG."""
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.2")
+        a = RunSpec(scheme="disco", **QUICK)
+        b = RunSpec(scheme="cc", **QUICK)
+        first = runner._retry_backoff(a)
+        assert first == runner._retry_backoff(a)
+        assert 0.1 <= first <= 0.3
+        assert runner._retry_backoff(b) != first
+        # Global-RNG state must not perturb the seeded draw.
+        import random as _random
+
+        _random.random()
+        assert runner._retry_backoff(a) == first
+
+
+class TestCampaignJournal:
+    def test_states_fold_with_running_attempt_counting(self, monkeypatch):
+        runner._journal_append("k1", "pending")
+        runner._journal_append("k1", "running")
+        runner._journal_append("k1", "done")
+        runner._journal_append("k2", "running")
+        runner._journal_append("k2", "running")
+        entries = runner._journal_read()
+        assert entries["k1"] == {"state": "done", "attempts": 0}
+        assert entries["k2"] == {"state": "running", "attempts": 2}
+
+    def test_torn_tail_is_skipped(self):
+        runner._journal_append("k1", "running")
+        with open(runner._journal_path(), "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "sta')  # crash mid-append
+        entries = runner._journal_read()
+        assert entries == {"k1": {"state": "running", "attempts": 1}}
+
+    def test_batches_journal_done_specs(self):
+        spec = RunSpec(scheme="baseline", **QUICK)
+        run_specs([spec], jobs=1)
+        entries = runner._journal_read()
+        assert entries[spec_key(spec)]["state"] == "done"
+
+    def test_resume_quarantines_crash_looped_specs(self, monkeypatch):
+        """A spec journaled ``running`` with no terminal record N times is
+        a crash loop: resume fails it up-front instead of re-running."""
+        monkeypatch.setenv("REPRO_QUARANTINE_AFTER", "2")
+        spec = RunSpec(scheme="baseline", **QUICK)
+        key = spec_key(spec)
+        runner._journal_append(key, "running")
+        runner._journal_append(key, "running")
+        calls = []
+        real = runner._simulate
+        monkeypatch.setattr(
+            runner,
+            "_simulate",
+            lambda s, verbose=False: calls.append(s) or real(s, verbose),
+        )
+        with pytest.raises(RunnerError) as excinfo:
+            run_specs([spec], jobs=1, resume=True)
+        assert calls == []  # never re-attempted
+        assert "quarantined after 2 interrupted attempts" in str(
+            excinfo.value.failures[spec]
+        )
+        assert runner._journal_read()[key]["state"] == "quarantined"
+
+    def test_resume_skips_done_specs_without_recompute(self, monkeypatch):
+        spec = RunSpec(scheme="baseline", **QUICK)
+        run_specs([spec], jobs=1)
+        clear_cache()  # drop the memo; disk cache + journal remain
+        calls = []
+        real = runner._simulate
+        monkeypatch.setattr(
+            runner,
+            "_simulate",
+            lambda s, verbose=False: calls.append(s) or real(s, verbose),
+        )
+        out = run_specs([spec], jobs=1, resume=True)
+        assert calls == []  # served from the disk cache, not re-run
+        assert out[spec].cycles > 0
 
 
 def test_cache_dir_override(tmp_path, monkeypatch):

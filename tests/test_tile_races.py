@@ -29,8 +29,8 @@ class RecordingSystem:
     def send_message(self, msg, compressed_payload=None):
         self.sent.append(msg)
 
-    def schedule(self, delay, fn):  # pragma: no cover - unused here
-        fn()
+    def schedule(self, delay, fn, *args):  # pragma: no cover - unused here
+        fn(*args)
 
     def kinds(self):
         return [m.kind for m in self.sent]
