@@ -1,12 +1,26 @@
 """CI perf smoke: a reduced fig5 sweep must stay within 2x of its record.
 
 Standalone (``python benchmarks/perf_smoke.py``): runs the fig5 latency
-experiment at a reduced scale (two workloads, short traces), appends the
-wall-clock to the ``bench_results/BENCH_fig5.json`` trajectory with
-``config: "smoke"``, and exits non-zero if the run regressed by more
-than :data:`REGRESSION_FACTOR` against the best previous *cold* smoke
-entry.  Only like configurations are compared — the smoke record never
-gates the full bench configuration or vice versa.
+experiment at a reduced scale (two workloads, short traces) under the
+event kernel *and* the batched kernel (``REPRO_KERNEL_MODE=batch``),
+appends both wall-clocks to the ``bench_results/BENCH_fig5.json``
+trajectory with ``config: "smoke"``, and exits non-zero if either leg
+regressed by more than :data:`REGRESSION_FACTOR` against the best
+previous *cold* smoke entry **for the same kernel mode**.  Only like
+configurations are compared — the smoke record never gates the full
+bench configuration or vice versa, and the event record never gates the
+batch leg.
+
+The batch leg is also a correctness gate: every spec in the smoke grid
+must produce the same counter snapshot (modulo the scheduler-internal
+``kernel`` stat group), cycle count and miss latency under both kernels.
+A divergence exits non-zero immediately — digest drift is a bug, never
+a perf trade.
+
+On top of the saturated smoke grid, a mostly-idle 16x16 mesh (the sparse
+configuration: 256 cores, a few dozen accesses each) is timed under both
+kernels and written to ``bench_results/BENCH_sparse.json`` — the regime
+where active-set sweeps matter more than per-stage cost.
 
 The 2x headroom absorbs host-speed variance between the machine that
 recorded the reference and the CI runner; a genuine scheduler regression
@@ -25,15 +39,22 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from common import _results_dir, append_bench_fig5  # noqa: E402
+from common import _results_dir, append_bench_fig5, save_json  # noqa: E402
 
 SMOKE_WORKLOADS = ("blackscholes", "fluidanimate")
 SMOKE_ACCESSES = 400
 REGRESSION_FACTOR = 2.0
 
+#: The mostly-idle mesh: 256 nodes, short bursty traces, long drain tails.
+SPARSE_WIDTH = SPARSE_HEIGHT = 16
+SPARSE_ACCESSES = 40
+SPARSE_SCHEMES = ("baseline", "disco")
 
-def best_cold_smoke_seconds() -> float:
-    """The fastest cold smoke run on record (the regression reference)."""
+
+def best_cold_smoke_seconds(kernel: str = "event") -> float:
+    """The fastest cold smoke run on record for ``kernel`` (the
+    regression reference).  Entries predating the kernel tag were all
+    event-mode runs."""
     path = os.path.join(_results_dir(), "BENCH_fig5.json")
     try:
         with open(path) as handle:
@@ -43,23 +64,55 @@ def best_cold_smoke_seconds() -> float:
     cold = [
         run["wall_seconds"]
         for run in payload.get("runs", [])
-        if run.get("config") == "smoke" and not run.get("cache_hit")
+        if run.get("config") == "smoke"
+        and not run.get("cache_hit")
+        and run.get("kernel", "event") == kernel
     ]
     return min(cold) if cold else 0.0
 
 
-def main() -> int:
-    from repro.experiments.fig5 import fig5
-    from repro.experiments.runner import simulated_runs
+def _smoke_grid():
+    from repro.experiments.fig5 import REFERENCE, SCHEMES
+    from repro.experiments.runner import RunSpec
 
-    reference = best_cold_smoke_seconds()
+    return [
+        RunSpec(
+            scheme=scheme, workload=workload,
+            accesses_per_core=SMOKE_ACCESSES,
+        )
+        for workload in SMOKE_WORKLOADS
+        for scheme in (REFERENCE, *SCHEMES)
+    ]
+
+
+def _comparable(result):
+    """Everything a kernel mode must not change: the full counter
+    snapshot minus the scheduler's own ``kernel`` stat group."""
+    snapshot = result.snapshot_full
+    return (
+        {g: snapshot[g] for g in snapshot if g != "kernel"},
+        result.cycles,
+        result.avg_miss_latency,
+    )
+
+
+def _run_smoke_leg(kernel: str):
+    """One cold fig5 smoke sweep under ``kernel``; returns
+    (wall, cache_hit, fig5_result, per-spec comparables)."""
+    from repro.experiments.fig5 import fig5
+    from repro.experiments.runner import run_spec, simulated_runs
+
+    os.environ["REPRO_KERNEL_MODE"] = kernel
     before = simulated_runs()
     start = time.perf_counter()
-    result = fig5(
-        workloads=SMOKE_WORKLOADS, accesses_per_core=SMOKE_ACCESSES
-    )
+    result = fig5(workloads=SMOKE_WORKLOADS, accesses_per_core=SMOKE_ACCESSES)
     wall = time.perf_counter() - start
     cache_hit = simulated_runs() == before
+    # Memo readbacks (the sweep above just populated the mode-keyed cache).
+    comparables = {
+        (spec.scheme, spec.workload): _comparable(run_spec(spec))
+        for spec in _smoke_grid()
+    }
     append_bench_fig5(
         config="smoke",
         wall_seconds=wall,
@@ -69,23 +122,111 @@ def main() -> int:
             "accesses_per_core": SMOKE_ACCESSES,
         },
     )
-    print(f"perf smoke: {wall:.2f}s "
+    print(f"perf smoke [{kernel}]: {wall:.2f}s "
           f"({'cache hit' if cache_hit else 'cold'}), "
           f"disco vs cc {result.improvement_of_disco_over('cc'):+.1%}")
+    return wall, cache_hit, result, comparables
+
+
+def _gate(kernel: str, wall: float, cache_hit: bool) -> int:
     if cache_hit:
-        print("perf smoke: run was served from cache; nothing to gate")
+        print(f"perf smoke [{kernel}]: run was served from cache; "
+              f"nothing to gate")
         return 0
+    reference = best_cold_smoke_seconds(kernel)
     if not reference:
-        print("perf smoke: no cold smoke reference on record; "
-              "this run becomes the reference")
+        print(f"perf smoke [{kernel}]: no cold smoke reference on record; "
+              f"this run becomes the reference")
         return 0
     limit = reference * REGRESSION_FACTOR
-    print(f"perf smoke: reference {reference:.2f}s, limit {limit:.2f}s")
+    print(f"perf smoke [{kernel}]: reference {reference:.2f}s, "
+          f"limit {limit:.2f}s")
     if wall > limit:
-        print(f"perf smoke: REGRESSION — {wall:.2f}s exceeds "
+        print(f"perf smoke [{kernel}]: REGRESSION — {wall:.2f}s exceeds "
               f"{REGRESSION_FACTOR:.0f}x the {reference:.2f}s reference")
         return 1
     return 0
+
+
+def run_sparse() -> dict:
+    """Time the mostly-idle 16x16 mesh under both kernels (always cold:
+    goes through ``runner._simulate`` directly, no caches)."""
+    from repro.experiments.runner import RunSpec, _simulate
+
+    runs = []
+    for kernel in ("event", "batch"):
+        os.environ["REPRO_KERNEL_MODE"] = kernel
+        for scheme in SPARSE_SCHEMES:
+            spec = RunSpec(
+                scheme=scheme, workload="blackscholes",
+                width=SPARSE_WIDTH, height=SPARSE_HEIGHT,
+                accesses_per_core=SPARSE_ACCESSES,
+            )
+            start = time.perf_counter()
+            result = _simulate(spec)
+            wall = time.perf_counter() - start
+            runs.append({
+                "kernel": kernel,
+                "scheme": scheme,
+                "wall_seconds": round(wall, 3),
+                "cycles": result.cycles,
+            })
+            print(f"sparse [{kernel}/{scheme}]: {wall:.2f}s, "
+                  f"{result.cycles} cycles")
+    by_kernel = {
+        kernel: sum(
+            run["wall_seconds"] for run in runs if run["kernel"] == kernel
+        )
+        for kernel in ("event", "batch")
+    }
+    payload = {
+        "description": (
+            "Mostly-idle mesh wall-clock: "
+            f"{SPARSE_WIDTH}x{SPARSE_HEIGHT} nodes, "
+            f"{SPARSE_ACCESSES} accesses/core, blackscholes, "
+            f"schemes {list(SPARSE_SCHEMES)}, cold (uncached) runs"
+        ),
+        "runs": runs,
+        "total_seconds": {k: round(v, 3) for k, v in by_kernel.items()},
+        "speedup_batch_vs_event": round(
+            by_kernel["event"] / by_kernel["batch"], 3
+        ) if by_kernel["batch"] else None,
+    }
+    save_json("BENCH_sparse", payload)
+    print(f"sparse: event {by_kernel['event']:.2f}s, "
+          f"batch {by_kernel['batch']:.2f}s "
+          f"({payload['speedup_batch_vs_event']}x)")
+    return payload
+
+
+def main() -> int:
+    saved_mode = os.environ.get("REPRO_KERNEL_MODE")
+    status = 0
+    try:
+        event_wall, event_hit, _result, event_cmp = _run_smoke_leg("event")
+        status |= _gate("event", event_wall, event_hit)
+
+        batch_wall, batch_hit, _result, batch_cmp = _run_smoke_leg("batch")
+        status |= _gate("batch", batch_wall, batch_hit)
+
+        # Correctness gate: batch must be bit-identical to event on every
+        # spec of the grid (modulo the scheduler's own stat group).
+        diverged = [key for key in event_cmp if batch_cmp[key] != event_cmp[key]]
+        if diverged:
+            print(f"perf smoke: DIGEST DIVERGENCE — batch kernel differs "
+                  f"from event on {diverged}")
+            status |= 1
+        else:
+            print(f"perf smoke: batch digests identical to event on all "
+                  f"{len(event_cmp)} smoke specs")
+
+        run_sparse()
+    finally:
+        if saved_mode is None:
+            os.environ.pop("REPRO_KERNEL_MODE", None)
+        else:
+            os.environ["REPRO_KERNEL_MODE"] = saved_mode
+    return status
 
 
 if __name__ == "__main__":

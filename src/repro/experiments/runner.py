@@ -264,14 +264,14 @@ def _source_fingerprint() -> str:
 
 
 def _kernel_mode() -> str:
-    """The active scheduler mode (``event`` or ``tick``).
+    """The active scheduler mode (``event``, ``tick`` or ``batch``).
 
     Part of every cache key — memo and disk — so results produced under
-    ``REPRO_KERNEL_MODE=tick`` can never alias event-mode results (their
-    payloads are bit-identical by design, but the invariance tests that
-    *prove* that must observe two genuinely independent runs)."""
+    one ``REPRO_KERNEL_MODE`` can never alias another mode's results
+    (their payloads are bit-identical by design, but the invariance tests
+    that *prove* that must observe genuinely independent runs)."""
     mode = os.environ.get("REPRO_KERNEL_MODE", "event")
-    return "tick" if mode == "tick" else "event"
+    return mode if mode in ("tick", "batch") else "event"
 
 
 def spec_key(spec: RunSpec) -> str:

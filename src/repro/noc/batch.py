@@ -1,0 +1,276 @@
+"""The batched dataplane sweep (``REPRO_KERNEL_MODE=batch``).
+
+In batch mode the network installs a :class:`BatchFabricDriver` as the
+``net.routers`` phase driver: instead of the kernel visiting each active
+router through ``has_work()``/``tick()`` dispatch, the driver sweeps the
+whole phase in one call.  Its fast path partitions *every* eligible
+router's VCs into their pipeline stages (SA / VA / RC) in a handful of
+vectorized array passes over the fabric's struct-of-arrays layer
+(:mod:`repro.noc.fabric_state`), then runs the stage logic router by
+router.
+
+Bit-exactness constrains what can be vectorized.  Same-cycle VC-allocation
+effects are visible across routers (router *n*'s VA sees reservations and
+releases router *m* < *n* made this cycle), and ejection side effects
+(NI delivery → CMP response → packet-id allocation) must happen in the
+order the scalar sweep produces — so stage *processing* stays fused per
+router in ascending node order, exactly the scalar schedule.  What the
+array passes replace is the per-router partition scan and the per-router
+dispatch, which is legal because no router's processing can change
+another router's stage partition within the same cycle (arrivals land at
+least one link latency later; reservations don't alter pipeline state).
+
+Fallback rules — a router is served by the scalar ``tick()`` instead of
+the fast path whenever correctness instrumentation could observe the
+difference:
+
+- the router overrides hooks (``DiscoRouter``: compression-engine
+  occupancy, SA-loser and first-flit hooks) — detected by exact type;
+- a packet tracer, fault controller, reliability layer or invariant
+  monitor is attached to the network (their hook points fire inside the
+  scalar stage code), or ``can_eject`` is overridden/monkey-patched.
+
+The network-level conditions force the whole sweep into fallback; the
+type condition falls back per router, so a hybrid fabric (some DISCO
+routers, some plain) still batches the plain ones.  Either way the
+observable simulation is bit-identical to event mode — the digest-matrix
+tests pin this for all five golden schemes.
+
+Without numpy (the ``fast`` optional extra), or below
+``REPRO_BATCH_VECTOR_MIN`` active VCs (default 256; set 0 to force
+vectorization, large to disable), the driver degrades to the same fused
+sweep with scalar partitioning — still one call per phase, no numpy
+required.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.noc.fabric_state import HAS_NUMPY
+from repro.noc.router import Router, VC_ACTIVE, VC_ROUTING, VC_VA
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noc.network import Network
+
+#: Minimum active-router VC count before the numpy partition pays for
+#: itself; below it the fused scalar partition is used (array ops carry
+#: a fixed ~µs overhead that only amortizes across enough lanes).
+DEFAULT_VECTOR_MIN = 256
+
+
+def _vector_min() -> int:
+    raw = os.environ.get("REPRO_BATCH_VECTOR_MIN", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_VECTOR_MIN
+
+
+class BatchFabricDriver:
+    """Phase driver sweeping all active routers through the fabric arrays."""
+
+    #: Stable label for kernel tracing/profiling of the driven phase.
+    label = "net.routers.batch"
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self.fs = network.fabric
+        self.vector_min = _vector_min()
+        self._use_numpy = HAS_NUMPY
+        self._vec = None
+        self._mask = None
+
+    def _ensure_vectors(self) -> bool:
+        if self._vec is None:
+            if not self._use_numpy:
+                return False
+            import numpy as np
+
+            self._vec = self.fs.vectors()
+            self._mask = np.zeros(self.fs.n_vcs, dtype=bool)
+        return True
+
+    def _network_fallback(self) -> bool:
+        """True when an attached layer's hook points must fire inside the
+        scalar stage code for every router this sweep."""
+        network = self.network
+        if (
+            network.tracer is not None
+            or network.faults is not None
+            or network.reliability is not None
+            or network.monitor is not None
+        ):
+            return True
+        # A subclassed or monkey-patched ejection policy must be consulted
+        # per VC; the stock token check is the only one the fast path
+        # understands.
+        from repro.noc.network import Network
+
+        return getattr(network.can_eject, "__func__", None) is not Network.can_eject
+
+    # -- the sweep -----------------------------------------------------------
+    def __call__(self, cycle: int, regs: List) -> Tuple[int, int]:
+        kernel = self.network.kernel
+        if self._network_fallback():
+            ticked = skipped = 0
+            for reg in regs:
+                router = reg.component
+                if router.has_work():
+                    router.tick(cycle)
+                    ticked += 1
+                else:
+                    skipped += 1
+            kernel.batch_fallback_ticks += ticked
+            return ticked, skipped
+
+        # Split eligible (exact-type, hook-free) routers from the rest.
+        fast: List[Router] = []
+        slow: List[Router] = []
+        n_fast_vcs = 0
+        for reg in regs:
+            router = reg.component
+            if type(router) is Router:
+                fast.append(router)
+                n_fast_vcs += router._vid_hi - router._vid_lo
+            else:
+                slow.append(router)
+
+        if (
+            fast
+            and n_fast_vcs >= self.vector_min
+            and self._ensure_vectors()
+        ):
+            ticked, skipped = self._sweep_vectorized(fast, slow, cycle)
+        else:
+            ticked, skipped = self._sweep_scalar(fast, slow, cycle)
+        return ticked, skipped
+
+    def _sweep_scalar(
+        self, fast: List[Router], slow: List[Router], cycle: int
+    ) -> Tuple[int, int]:
+        """Fused sweep without numpy: per-router partition over the bound
+        lists, merged with the fallback routers in node order."""
+        kernel = self.network.kernel
+        ticked = skipped = 0
+        fast_ticks = fallback_ticks = 0
+        # Merge the two class lists back into ascending node order — the
+        # scalar schedule every cross-router interaction assumes.
+        fi = si = 0
+        while fi < len(fast) or si < len(slow):
+            if si >= len(slow) or (
+                fi < len(fast) and fast[fi].node < slow[si].node
+            ):
+                router = fast[fi]
+                fi += 1
+                is_fast = True
+            else:
+                router = slow[si]
+                si += 1
+                is_fast = False
+            if router.has_work():
+                router.tick(cycle)
+                ticked += 1
+                if is_fast:
+                    fast_ticks += 1
+                else:
+                    fallback_ticks += 1
+            else:
+                skipped += 1
+        kernel.batch_fast_ticks += fast_ticks
+        kernel.batch_fallback_ticks += fallback_ticks
+        return ticked, skipped
+
+    def _sweep_vectorized(
+        self, fast: List[Router], slow: List[Router], cycle: int
+    ) -> Tuple[int, int]:
+        """Partition every fast router's VCs into SA/VA/RC with array
+        passes, then process routers in ascending node order."""
+        import numpy as np
+
+        fs = self.fs
+        vec = self._vec
+        mask = self._mask
+        spans = [(router._vid_lo, router._vid_hi) for router in fast]
+        for lo, hi in spans:
+            mask[lo:hi] = True
+        states = vec.state
+        # One pass per stage over the whole fabric; ascending-vid output
+        # order *is* (node, port, vc) scan order, so the per-router slices
+        # below reproduce the bound-list iteration order exactly.
+        sa_ids = np.nonzero(mask & (states == VC_ACTIVE) & (vec.flits_present > 0))[0]
+        va_ids = np.nonzero(mask & (states == VC_VA))[0]
+        rc_ids = np.nonzero(mask & (states == VC_ROUTING))[0]
+        for lo, hi in spans:
+            mask[lo:hi] = False
+        sa_list = sa_ids.tolist()
+        va_list = va_ids.tolist()
+        rc_list = rc_ids.tolist()
+
+        kernel = self.network.kernel
+        views = fs.views
+        ticked = skipped = 0
+        fast_ticks = fallback_ticks = 0
+        si = vi = ri = 0
+        n_sa, n_va, n_rc = len(sa_list), len(va_list), len(rc_list)
+        # Merge fast (stage-sliced) and slow (scalar tick) routers back
+        # into ascending node order.
+        fi = li = 0
+        while fi < len(fast) or li < len(slow):
+            if li >= len(slow) or (
+                fi < len(fast) and fast[fi].node < slow[li].node
+            ):
+                router = fast[fi]
+                fi += 1
+                hi = router._vid_hi
+                sa = None
+                while si < n_sa and sa_list[si] < hi:
+                    if sa is None:
+                        sa = [views[sa_list[si]]]
+                    else:
+                        sa.append(views[sa_list[si]])
+                    si += 1
+                va = None
+                while vi < n_va and va_list[vi] < hi:
+                    if va is None:
+                        va = [views[va_list[vi]]]
+                    else:
+                        va.append(views[va_list[vi]])
+                    vi += 1
+                rc = None
+                while ri < n_rc and rc_list[ri] < hi:
+                    if rc is None:
+                        rc = [views[rc_list[ri]]]
+                    else:
+                        rc.append(views[rc_list[ri]])
+                    ri += 1
+                if sa is None and va is None and rc is None:
+                    # Reserved/incoming-only routers: the scalar visit
+                    # would tick and do nothing; count it as gated.
+                    skipped += 1
+                    continue
+                if sa is not None:
+                    router._switch_allocation(sa)
+                if va is not None:
+                    router._vc_allocation(va)
+                if rc is not None:
+                    router._route_computation(rc)
+                ticked += 1
+                fast_ticks += 1
+            else:
+                router = slow[li]
+                li += 1
+                if router.has_work():
+                    router.tick(cycle)
+                    ticked += 1
+                    fallback_ticks += 1
+                else:
+                    skipped += 1
+        kernel.batch_fast_ticks += fast_ticks
+        kernel.batch_fallback_ticks += fallback_ticks
+        return ticked, skipped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        regime = "vectorized" if self._use_numpy else "fused-scalar"
+        return f"BatchFabricDriver({regime}, vector_min={self.vector_min})"

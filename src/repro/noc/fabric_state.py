@@ -1,0 +1,229 @@
+"""Fabric-owned struct-of-arrays state for the NoC dataplane.
+
+Every mutable numeric field the routers, input VCs and ejection flow
+control used to keep as per-object attributes lives here instead, in
+preallocated flat arrays indexed by a global *VC id*::
+
+    vid = vc_base[node] + port * vcs_per_port + vc_index
+
+The layout is the Siegl/GPU bufferless-NoC idea (arXiv:1508.03235)
+applied to this simulator: router state swept as arrays rather than
+object-at-a-time.  Two access planes share the same memory:
+
+- **scalar plane** — ``array.array('q')`` buffers.  Indexing them from
+  Python is about as fast as a ``__slots__`` attribute read, so the
+  event-driven per-router path keeps its speed; :class:`InputVC`
+  (:mod:`repro.noc.router`) becomes a typed *view* whose properties
+  read/write these buffers, keeping every existing call site working.
+- **vector plane** — zero-copy ``numpy.frombuffer`` views over the very
+  same buffers (:meth:`FabricState.vectors`), used by the batched
+  kernel mode (:mod:`repro.noc.batch`) to run SA/ST candidate selection
+  for *all* routers in a handful of array passes per cycle.  numpy is
+  optional (the ``fast`` extra); without it the batch driver falls back
+  to a fused scalar sweep over the same arrays.
+
+Object-valued state (the bound :class:`~repro.noc.flit.Packet`, the
+DISCO engine job) stays in parallel Python lists — packets are live
+objects that must keep identity through checkpoints.
+
+Encodings (all fields are signed 64-bit):
+
+==================  =====================================================
+``state``           VC pipeline state (``VC_IDLE``/``ROUTING``/``VA``/``ACTIVE``)
+``out_port``        RC decision; ``-1`` = none
+``out_vc_class``    dateline escape class; ``NO_CLASS`` (-1) = unconstrained
+``out_vc``          downstream VC id; ``NO_VC`` (-1) = none
+``reserved``        0/1 flag
+``wedged_until``    fault wedge deadline; ``-1`` = never wedged
+``eject_tokens``    per-*node* ejection flow-control credits
+==================  =====================================================
+
+The arrays are fixed-size for the life of the fabric (topologies never
+grow mid-run), which is what makes the numpy views safe: an
+``array.array`` buffer only moves on resize, and we never resize.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+#: Sentinel encodings for the Optional fields.
+NO_PORT = -1
+NO_CLASS = -1
+NO_VC = -1
+
+#: The per-VC mutable numeric fields, in checkpoint order.
+VC_FIELDS = (
+    "state",
+    "flits_present",
+    "flits_received",
+    "flits_sent",
+    "incoming",
+    "reserved",
+    "out_port",
+    "out_vc_class",
+    "out_vc",
+    "wait_cycles",
+    "credit_debt",
+    "wedged_until",
+)
+
+#: Fields initialised to -1 rather than 0.
+_MINUS_ONE_FIELDS = frozenset(("out_port", "out_vc_class", "out_vc", "wedged_until"))
+
+
+class FabricVectors:
+    """Zero-copy numpy views over a :class:`FabricState`'s buffers.
+
+    Built once and cached — ``numpy.frombuffer`` shares memory with the
+    ``array.array`` plane, so scalar writes are instantly visible here
+    and vectorized writes are instantly visible to the scalar plane.
+    """
+
+    __slots__ = VC_FIELDS + ("eject_tokens", "vc_node", "vc_port", "depth")
+
+    def __init__(self, fs: "FabricState"):
+        assert _np is not None
+        for name in VC_FIELDS:
+            setattr(self, name, _np.frombuffer(getattr(fs, name), dtype=_np.int64))
+        self.eject_tokens = _np.frombuffer(fs.eject_tokens, dtype=_np.int64)
+        self.vc_node = _np.frombuffer(fs.vc_node, dtype=_np.int64)
+        self.vc_port = _np.frombuffer(fs.vc_port, dtype=_np.int64)
+        self.depth = fs.depth
+
+
+class FabricState:
+    """Preallocated struct-of-arrays state for one fabric instance."""
+
+    def __init__(self, topology, vcs_per_port: int, vc_depth: int,
+                 ejection_bandwidth: int):
+        self.topology = topology
+        self.vcs_per_port = vcs_per_port
+        #: Uniform VC buffer depth (structural, not per-VC state).
+        self.depth = vc_depth
+        n_nodes = topology.n_nodes
+        base: List[int] = []
+        total = 0
+        for node in range(n_nodes):
+            base.append(total)
+            total += topology.radix(node) * vcs_per_port
+        #: ``vid`` of (node, port 0, vc 0) — plain list for fast indexing.
+        self.vc_base = base
+        self.n_vcs = total
+        self.n_nodes = n_nodes
+
+        zeros = bytes(8 * total)
+        minus_ones = array("q", [-1]) * total
+        for name in VC_FIELDS:
+            if name in _MINUS_ONE_FIELDS:
+                setattr(self, name, array("q", minus_ones))
+            else:
+                setattr(self, name, array("q", zeros))
+
+        # Static reverse maps (vid -> node / port / vc index).
+        vc_node = array("q", zeros)
+        vc_port = array("q", zeros)
+        vc_index = array("q", zeros)
+        for node in range(n_nodes):
+            radix = topology.radix(node)
+            vid = base[node]
+            for port in range(radix):
+                for vc in range(vcs_per_port):
+                    vc_node[vid] = node
+                    vc_port[vid] = port
+                    vc_index[vid] = vc
+                    vid += 1
+        self.vc_node = vc_node
+        self.vc_port = vc_port
+        self.vc_index = vc_index
+
+        #: Ejection flow-control credits, one per node (start full).
+        self.eject_tokens = array("q", [ejection_bandwidth] * n_nodes)
+
+        # Object plane: live Python references, parallel to the arrays.
+        self.packet: List[Optional[object]] = [None] * total
+        self.engine_job: List[Optional[object]] = [None] * total
+        #: ``vid -> InputVC`` view objects, filled in by the routers at
+        #: construction so ``out_vc`` ids can resolve back to views.
+        self.views: List[Optional[object]] = [None] * total
+
+        self._vectors: Optional[FabricVectors] = None
+
+    # -- addressing ----------------------------------------------------------
+    def vid(self, node: int, port: int, vc_index: int) -> int:
+        """Flat VC id of (node, port, vc)."""
+        return self.vc_base[node] + port * self.vcs_per_port + vc_index
+
+    def view(self, vid: int):
+        """The :class:`~repro.noc.router.InputVC` view of a VC id."""
+        return self.views[vid]
+
+    # -- vector plane --------------------------------------------------------
+    def vectors(self) -> FabricVectors:
+        """The cached numpy view bundle (requires the ``fast`` extra)."""
+        if self._vectors is None:
+            if _np is None:
+                raise RuntimeError(
+                    "numpy is not installed; install the 'fast' extra "
+                    "(pip install repro[fast]) for vectorized sweeps"
+                )
+            self._vectors = FabricVectors(self)
+        return self._vectors
+
+    # -- whole-fabric queries ------------------------------------------------
+    def total_occupancy(self) -> int:
+        """Buffered + in-flight flits across every VC (telemetry gauge)."""
+        if self._vectors is not None:
+            vec = self._vectors
+            return int(vec.flits_present.sum() + vec.incoming.sum())
+        return sum(self.flits_present) + sum(self.incoming)
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The authoritative numeric plane, field by field.
+
+        Packets and engine jobs are deliberately absent: they are live
+        objects owned by the VC views / the DISCO engine and travel
+        through the system's single-pickle envelope alongside this.
+        """
+        state: Dict[str, object] = {"version": 1}
+        for name in VC_FIELDS:
+            state[name] = list(getattr(self, name))
+        state["eject_tokens"] = list(self.eject_tokens)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported FabricState version {state.get('version')!r}"
+            )
+        for name in VC_FIELDS:
+            saved = state[name]
+            target = getattr(self, name)
+            if len(saved) != len(target):
+                raise ValueError(
+                    f"FabricState field {name!r} has {len(saved)} entries; "
+                    f"this fabric has {len(target)} VCs"
+                )
+            target[:] = array("q", saved)
+        tokens = state["eject_tokens"]
+        if len(tokens) != len(self.eject_tokens):
+            raise ValueError(
+                f"FabricState has {len(tokens)} eject-token entries; "
+                f"this fabric has {len(self.eject_tokens)} nodes"
+            )
+        self.eject_tokens[:] = array("q", tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FabricState({self.n_nodes} nodes, {self.n_vcs} VCs, "
+            f"numpy={'on' if self._vectors is not None else 'lazy'})"
+        )

@@ -196,7 +196,10 @@ class NetworkInterface:
             if stream is None:
                 return
         packet, vc, sent = stream
-        if vc.depth - vc.flits_present <= 0:
+        # Hot path: read buffer fullness straight off the fabric array
+        # (the local link has no in-flight credits to account for).
+        fs = vc.fs
+        if fs.depth - fs.flits_present[vc.vid] <= 0:
             return  # no buffer space this cycle
         is_head = sent == 0
         vc.accept_flit(packet, is_head)

@@ -36,6 +36,7 @@ import heapq
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.noc.config import NocConfig
+from repro.noc.fabric_state import FabricState
 from repro.noc.flit import Packet
 from repro.noc.interface import NetworkInterface
 from repro.noc.router import InputVC, Router
@@ -285,6 +286,15 @@ class LocalDeliveryQueue:
 class Network:
     """A cycle-level NoC instance over a pluggable topology."""
 
+    #: Fabrics with at most this many (src, dst) pairs get their whole
+    #: route table precomputed at construction (a 64-node mesh = 4096
+    #: pairs, well under a millisecond); bigger fabrics get the bounded
+    #: demand cache instead so memory stays O(cap), not O(n²).
+    ROUTE_PRECOMPUTE_MAX_PAIRS = 4096
+    #: Entry cap for the demand-filled cache on large fabrics (FIFO
+    #: eviction; ~64 nodes' worth of destination rows on a 1k-node mesh).
+    ROUTE_CACHE_CAP = 65536
+
     def __init__(
         self,
         config: NocConfig,
@@ -296,9 +306,37 @@ class Network:
         self.mesh = self.topology  # legacy alias (pre-fabric callers)
         self.routing = config.make_routing()
         self._route_fn = self.routing.fn
+        # Route memoization: decisions are pure functions of (topology,
+        # node, dst), so small fabrics precompute every pair once at
+        # construction and the cache never grows; large fabrics keep a
+        # bounded demand-filled cache with FIFO eviction (the counter is a
+        # plain attribute, deliberately outside every stat group).  Either
+        # way the cache is pure derived state — excluded from checkpoints.
         self._route_cache: Dict[Tuple[int, int], Tuple[int, Optional[int]]] = {}
+        self._route_cache_cap = 0  # 0 = fully precomputed, never evicts
+        self._route_cache_evictions = 0
+        n_nodes = self.topology.n_nodes
+        if n_nodes * n_nodes <= self.ROUTE_PRECOMPUTE_MAX_PAIRS:
+            route_fn = self._route_fn
+            topology = self.topology
+            self._route_cache = {
+                (node, dst): route_fn(topology, node, dst)
+                for node in range(n_nodes)
+                for dst in range(n_nodes)
+                if node != dst
+            }
+        else:
+            self._route_cache_cap = self.ROUTE_CACHE_CAP
         self.stats = NetworkStats()
         self.kernel = kernel if kernel is not None else SimKernel()
+        #: The struct-of-arrays dataplane state layer (must exist before
+        #: the routers: their InputVC views bind to its arrays).
+        self.fabric = FabricState(
+            self.topology,
+            config.vcs_per_port,
+            config.vc_depth,
+            config.ejection_bandwidth,
+        )
         factory = router_factory or Router
         self.routers: List[Router] = [
             factory(node, config, self) for node in range(self.topology.n_nodes)
@@ -308,11 +346,11 @@ class Network:
         ]
         self.arrival_queue = ArrivalQueue(self)
         self.local_deliveries = LocalDeliveryQueue(self)
-        # Ejection tokens start full; the frame step only refills nodes
-        # that actually spent tokens (``_eject_spent``) instead of
-        # rewriting the whole array every cycle.
-        bandwidth = config.ejection_bandwidth
-        self._eject_tokens: List[int] = [bandwidth] * self.topology.n_nodes
+        # Ejection tokens live in the fabric layer (started full there);
+        # the alias keeps every existing call site working.  The frame
+        # step only refills nodes that actually spent tokens
+        # (``_eject_spent``) instead of rewriting the array every cycle.
+        self._eject_tokens = self.fabric.eject_tokens
         self._eject_spent: List[int] = []
         self._delivery_handler: Optional[DeliveryHandler] = None
         #: Fault-injection controller (:mod:`repro.faults`); ``None`` keeps
@@ -357,6 +395,15 @@ class Network:
         kernel.register(self.arrival_queue, phase="net.arrivals")
         for router in self.routers:
             kernel.register(router, phase="net.routers")
+        #: Batch mode sweeps the router phase through one driver instead
+        #: of per-component dispatch (:mod:`repro.noc.batch`); the routers
+        #: stay registered so wake()/active-set bookkeeping is unchanged.
+        self.batch_driver = None
+        if kernel.mode == "batch":
+            from repro.noc.batch import BatchFabricDriver
+
+            self.batch_driver = BatchFabricDriver(self)
+            kernel.set_phase_driver("net.routers", self.batch_driver)
         for ni in self.nis:
             kernel.register(ni, phase="net.nis")
         kernel.register(self.local_deliveries, phase="net.delivery")
@@ -423,9 +470,7 @@ class Network:
     def _fabric_occupancy(self) -> float:
         """Buffered + in-flight flits across every router VC (the default
         occupancy gauge of the telemetry sampler)."""
-        return float(
-            sum(vc.occupancy() for r in self.routers for vc in r.all_vcs)
-        )
+        return float(self.fabric.total_occupancy())
 
     def _network_counters(self) -> Dict[str, int]:
         """The NoC's contribution to the kernel's stats registry (legacy
@@ -486,7 +531,14 @@ class Network:
         decision = self._route_cache.get(key)
         if decision is None:
             decision = self._route_fn(self.topology, node, dst)
-            self._route_cache[key] = decision
+            cache = self._route_cache
+            if self._route_cache_cap and len(cache) >= self._route_cache_cap:
+                # FIFO eviction: dict preserves insertion order, so the
+                # oldest entry is the first key.  Decisions are pure, so
+                # evicting one only costs a recompute on next use.
+                cache.pop(next(iter(cache)))
+                self._route_cache_evictions += 1
+            cache[key] = decision
         return decision
 
     def send(self, packet: Packet) -> None:
@@ -566,14 +618,21 @@ class Network:
         stats objects (``stats``/``degraded``/``recovered``/``telemetry``)
         are saved as field dicts and copied back into the existing
         instances, which registered providers hold by reference.
+
+        Version 2 (the FabricState refactor): the fabric's numeric plane
+        travels as the ``fabric`` entry and is restored *last*, making it
+        authoritative over anything the per-router VC snapshots wrote;
+        eject tokens live inside it.  The route cache is pure derived
+        state (decisions are deterministic functions of the static
+        topology) and is deliberately absent.
         """
         return {
-            "version": 1,
+            "version": 2,
+            "fabric": self.fabric.state_dict(),
             "routers": [router.state_dict() for router in self.routers],
             "nis": [ni.state_dict() for ni in self.nis],
             "arrivals": self.arrival_queue.state_dict(),
             "local_deliveries": self.local_deliveries.state_dict(),
-            "eject_tokens": list(self._eject_tokens),
             "eject_spent": list(self._eject_spent),
             "stats": _copy_fields(self.stats),
             "degraded": _copy_fields(self.degraded),
@@ -589,7 +648,7 @@ class Network:
         }
 
     def load_state(self, state: dict) -> None:
-        if state.get("version") != 1:
+        if state.get("version") != 2:
             raise ValueError(
                 f"unsupported Network state version {state.get('version')!r}"
             )
@@ -608,7 +667,11 @@ class Network:
             ni.load_state(saved)
         self.arrival_queue.load_state(state["arrivals"])
         self.local_deliveries.load_state(state["local_deliveries"])
-        self._eject_tokens = list(state["eject_tokens"])
+        # The fabric loads after the routers so its numeric plane is
+        # authoritative (the VC views re-derived the same values; this
+        # guarantees it bit-for-bit).  ``_eject_tokens`` aliases the
+        # fabric's array, so the tokens restore through it.
+        self.fabric.load_state(state["fabric"])
         self._eject_spent = list(state["eject_spent"])
         self.stats.__dict__.update(state["stats"])
         self.degraded.__dict__.update(state["degraded"])

@@ -102,7 +102,9 @@ def _reg_order(reg: _Scheduled) -> int:
 class Phase:
     """One named stage of the per-cycle loop."""
 
-    __slots__ = ("name", "components", "index", "pending", "pending_next")
+    __slots__ = (
+        "name", "components", "index", "pending", "pending_next", "driver",
+    )
 
     def __init__(self, name: str, index: int = 0):
         self.name = name
@@ -115,6 +117,12 @@ class Phase:
         #: of round-tripping through the wakeup heap (the heap is for
         #: *timed* wakes; the next-cycle case is the hot path).
         self.pending_next: List[_Scheduled] = []
+        #: Optional batch driver: ``driver(cycle, sorted_active_regs) ->
+        #: (ticked, skipped)`` sweeps the whole phase in one call (the
+        #: ``REPRO_KERNEL_MODE=batch`` dataplane).  The kernel still owns
+        #: active-set bookkeeping and re-arms each registration from its
+        #: idleness contract afterwards.
+        self.driver = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Phase({self.name!r}, {len(self.components)} components)"
@@ -123,12 +131,29 @@ class Phase:
 class SimKernel:
     """Global clock + phase-ordered wakeup schedule + stats registry."""
 
-    def __init__(self, event_driven: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        event_driven: Optional[bool] = None,
+        mode: Optional[str] = None,
+    ) -> None:
         self.cycle = 0
         self.stats = StatsRegistry()
-        if event_driven is None:
-            event_driven = os.environ.get("REPRO_KERNEL_MODE", "event") != "tick"
-        self._event_driven = bool(event_driven)
+        # Scheduler mode: "tick" (legacy poll-everything), "event"
+        # (wakeup-driven, the default), or "batch" (event scheduling plus
+        # phase drivers that sweep a whole phase in bulk).  The boolean
+        # ``event_driven`` parameter is the legacy spelling and wins when
+        # given explicitly.
+        if mode is None:
+            if event_driven is None:
+                mode = os.environ.get("REPRO_KERNEL_MODE", "event")
+                if mode not in ("tick", "event", "batch"):
+                    mode = "event"
+            else:
+                mode = "event" if event_driven else "tick"
+        elif mode not in ("tick", "event", "batch"):
+            raise ValueError(f"unknown kernel mode {mode!r}")
+        self.mode = mode
+        self._event_driven = mode != "tick"
         self._phases: List[Phase] = []
         self._phase_by_name: Dict[str, Phase] = {}
         #: Registered but never ticked (reactive state-holders); they count
@@ -145,6 +170,13 @@ class SimKernel:
         self.cycles_total = 0
         self.component_wakes = 0
         self.wakes_skipped = 0
+        #: Batched-sweep counters (only move in ``mode="batch"``): phase
+        #: sweeps handled by a driver, router visits served by the fused
+        #: fast path, and visits that fell back to the scalar
+        #: ``tick()`` because a hook override touched the router.
+        self.batch_sweeps = 0
+        self.batch_fast_ticks = 0
+        self.batch_fallback_ticks = 0
         self._timing = False
         self._component_timing = False
         self._tracer: Optional[Tracer] = None
@@ -213,6 +245,18 @@ class SimKernel:
         self._reg_of[id(component)] = reg
         if self._event_driven:
             self._schedule(reg, self.cycle + 1)
+
+    def set_phase_driver(self, phase: str, driver) -> None:
+        """Install a batch driver for one phase (creating it if needed).
+
+        ``driver(cycle, regs)`` receives the phase's active registrations
+        for the cycle, sorted in registration order, and must visit each
+        one exactly as the default sweep would (honouring ``has_work()``
+        gating); it returns ``(ticked, skipped)`` counts.  The kernel
+        keeps ownership of wake scheduling and post-sweep re-arming, so a
+        driver only replaces the inner visit loop — never the schedule.
+        """
+        self.add_phase(phase).driver = driver
 
     def phases(self) -> Tuple[str, ...]:
         return tuple(phase.name for phase in self._phases)
@@ -360,6 +404,28 @@ class SimKernel:
             if len(pending) > 1:
                 pending.sort(key=_reg_order)
             pending_next = phase.pending_next
+            driver = phase.driver
+            if driver is not None:
+                ticked, gated = driver(cycle, pending)
+                wakes += ticked
+                skipped += gated
+                self.batch_sweeps += 1
+                # Re-arm from each idleness contract, exactly as the
+                # default sweep below does after visiting.
+                for reg in pending:
+                    fn = reg.next_wake_fn
+                    if fn is None:
+                        if (
+                            reg.component.has_work()
+                            and reg.queued_next != nxt_cycle
+                        ):
+                            reg.queued_next = nxt_cycle
+                            pending_next.append(reg)
+                    else:
+                        nxt = fn(cycle)
+                        if nxt is not None:
+                            self._schedule(reg, nxt if nxt > cycle else nxt_cycle)
+                continue
             for reg in pending:
                 component = reg.component
                 fn = reg.next_wake_fn
@@ -395,6 +461,36 @@ class SimKernel:
             if len(pending) > 1:
                 pending.sort(key=_reg_order)
             start = time.perf_counter() if self._timing else 0.0
+            driver = phase.driver
+            if driver is not None:
+                # Batched phases profile as one unit: the sweep is a
+                # handful of array passes, so per-component attribution
+                # would be meaningless.  The kernel tracer sees a single
+                # event for the driver instead of one per router.
+                if tracer is not None:
+                    tracer(cycle, phase.name, driver)
+                ticked, gated = driver(cycle, pending)
+                self.component_wakes += ticked
+                self.wakes_skipped += gated
+                self.batch_sweeps += 1
+                for reg in pending:
+                    fn = reg.next_wake_fn
+                    if fn is None:
+                        if reg.component.has_work():
+                            self._schedule(reg, cycle + 1)
+                    else:
+                        nxt = fn(cycle)
+                        if nxt is not None:
+                            self._schedule(reg, nxt if nxt > cycle else cycle + 1)
+                if self._timing:
+                    name = phase.name
+                    self.phase_seconds[name] = self.phase_seconds.get(
+                        name, 0.0
+                    ) + (time.perf_counter() - start)
+                    self.phase_ticks[name] = (
+                        self.phase_ticks.get(name, 0) + ticked
+                    )
+                continue
             ticked_count = 0
             for reg in pending:
                 component = reg.component
@@ -516,9 +612,13 @@ class SimKernel:
             "version": 1,
             "cycle": self.cycle,
             "event_driven": self._event_driven,
+            "mode": self.mode,
             "cycles_total": self.cycles_total,
             "component_wakes": self.component_wakes,
             "wakes_skipped": self.wakes_skipped,
+            "batch_sweeps": self.batch_sweeps,
+            "batch_fast_ticks": self.batch_fast_ticks,
+            "batch_fallback_ticks": self.batch_fallback_ticks,
             "seq": self._seq,
         }
         if self._event_driven:
@@ -551,16 +651,24 @@ class SimKernel:
             raise ValueError(
                 f"unsupported kernel snapshot version {state.get('version')!r}"
             )
+        saved_mode = state.get(
+            "mode", "event" if state["event_driven"] else "tick"
+        )
         if bool(state["event_driven"]) != self._event_driven:
+            saved_mode = "event" if state["event_driven"] else "tick"
+        if saved_mode != self.mode:
             raise ValueError(
                 "kernel mode mismatch: snapshot was taken under "
-                + ("event" if state["event_driven"] else "tick")
-                + " scheduling; restore under the same REPRO_KERNEL_MODE"
+                f"{saved_mode!r} scheduling; restore under the same "
+                "REPRO_KERNEL_MODE"
             )
         self.cycle = state["cycle"]
         self.cycles_total = state["cycles_total"]
         self.component_wakes = state["component_wakes"]
         self.wakes_skipped = state["wakes_skipped"]
+        self.batch_sweeps = state.get("batch_sweeps", 0)
+        self.batch_fast_ticks = state.get("batch_fast_ticks", 0)
+        self.batch_fallback_ticks = state.get("batch_fallback_ticks", 0)
         self._seq = state["seq"]
         self._sweep_index = None
         if not self._event_driven:
@@ -605,11 +713,18 @@ class SimKernel:
         ``has_work()`` (in tick-all mode: every poll of an idle
         component).  The tick-everything cost this kernel replaced is
         ``cycles_total × registered components``.
+
+        The ``batch_*`` counters only move under ``mode="batch"``: driven
+        phase sweeps, router visits served by the fused fast path, and
+        per-router fallbacks to the scalar ``tick()``.
         """
         return {
             "cycles_total": self.cycles_total,
             "component_wakes": self.component_wakes,
             "wakes_skipped": self.wakes_skipped,
+            "batch_sweeps": self.batch_sweeps,
+            "batch_fast_ticks": self.batch_fast_ticks,
+            "batch_fallback_ticks": self.batch_fallback_ticks,
         }
 
     def idle(self) -> bool:
@@ -652,9 +767,11 @@ class SimKernel:
         visits = self.component_wakes + self.wakes_skipped
         denom = self.cycles_total * active_slots
         fraction = visits / denom if denom else 0.0
+        mode_name = {
+            "tick": "tick-all", "event": "event-driven", "batch": "batched",
+        }[self.mode]
         lines.append(
-            "  kernel: "
-            + ("event-driven" if self._event_driven else "tick-all")
+            f"  kernel: {mode_name}"
             + f", {self.cycles_total} cycles, "
             f"{self.component_wakes} wakes ({self.wakes_skipped} skipped), "
             f"active-set fraction {fraction:.1%}"
