@@ -1,0 +1,498 @@
+#!/usr/bin/env python3
+"""Chaos drill for the always-on campaign service.
+
+The drill boots the real service (``python -m repro.service``) as a
+subprocess and attacks it from both sides at once:
+
+- **load**: four concurrent clients submit sweeps; three are polite,
+  one deliberately bursts past its rate limit and must receive
+  structured ``Overloaded`` sheds (HTTP 429 + ``retry_after``), each
+  answered in under a second;
+- **faults**: a killer thread SIGKILLs random pool worker processes
+  under the service while the sweeps run, exercising the
+  ``BrokenProcessPool`` respawn + retry path.
+
+It then asserts the service's whole robustness contract:
+
+1. every admitted job completes, and every result digest is
+   byte-identical to a golden serial baseline;
+2. zero lost or duplicated results — each job's stream resolves each of
+   its unit indices exactly once, and the campaign journal's ``done``
+   set reconciles with the content-addressed cache entries on disk;
+3. sheds are structured and fast;
+4. SIGTERM drains the backlog and the service exits 0;
+5. (phase 2) **two** service processes sharing one cache directory run
+   the same sweep concurrently without corrupting a single entry.
+
+Run:  python examples/service_chaos.py [--workdir DIR] [--kills N]
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.experiments.runner import (  # noqa: E402
+    RunSpec,
+    result_digest,
+    run_spec,
+    spec_key,
+)
+from repro.service.client import (  # noqa: E402
+    OverloadedError,
+    ServiceClient,
+)
+
+SCHEMES = ("baseline", "cc", "cnc", "disco", "ideal")
+SEEDS = (1, 2)
+ACCESSES = 150
+WORKLOAD = "blackscholes"
+
+
+def _specs():
+    return [
+        RunSpec(
+            scheme=scheme,
+            workload=WORKLOAD,
+            accesses_per_core=ACCESSES,
+            seed=seed,
+        )
+        for scheme in SCHEMES
+        for seed in SEEDS
+    ]
+
+
+def _spec_payloads(specs):
+    return [
+        dict(
+            scheme=s.scheme,
+            workload=s.workload,
+            accesses_per_core=s.accesses_per_core,
+            seed=s.seed,
+        )
+        for s in specs
+    ]
+
+
+def golden_digests(workdir):
+    """Serial in-process baseline: the byte-identity reference."""
+    golden_cache = workdir / "golden-cache"
+    os.environ["REPRO_CACHE_DIR"] = str(golden_cache)
+    try:
+        digests = {
+            spec_key(spec): result_digest(run_spec(spec))
+            for spec in _specs()
+        }
+    finally:
+        del os.environ["REPRO_CACHE_DIR"]
+    print(f"golden baseline: {len(digests)} specs")
+    return digests
+
+
+# --------------------------------------------------------------------------
+# service process management
+# --------------------------------------------------------------------------
+
+
+def _service_env(cache_dir, heartbeat_dir):
+    env = dict(
+        os.environ,
+        REPRO_CACHE_DIR=str(cache_dir),
+        REPRO_HEARTBEAT_DIR=str(heartbeat_dir),
+        REPRO_WATCHDOG_SECONDS="60",
+        # Random SIGKILLs are interruptions, not crash loops: keep the
+        # quarantine bound well above the kill count so every admitted
+        # spec eventually completes.
+        REPRO_QUARANTINE_AFTER="10",
+        REPRO_RETRY_BACKOFF="0.1",
+        PYTHONPATH=os.pathsep.join(sys.path),
+    )
+    return env
+
+
+def start_service(workdir, cache_dir, name, rate, burst, workers=2):
+    port_file = workdir / f"{name}.port"
+    log_file = open(workdir / f"{name}.log", "w")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--host", "127.0.0.1", "--port", "0",
+            "--workers", str(workers),
+            "--rate", str(rate),
+            "--burst", str(burst),
+            "--port-file", str(port_file),
+            "--drain-timeout", "120",
+        ],
+        env=_service_env(cache_dir, workdir / "heartbeats"),
+        stdout=log_file,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 60.0
+    while not port_file.exists():
+        if process.poll() is not None:
+            raise RuntimeError(f"service {name} died on startup")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError(f"service {name} never published its port")
+        time.sleep(0.05)
+    port = int(port_file.read_text())
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=300.0)
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            ok, _ = client.health("ready")
+            if ok:
+                break
+        except OSError:
+            pass
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError(f"service {name} never became ready")
+        time.sleep(0.05)
+    print(f"service {name}: pid {process.pid}, port {port}")
+    return process, client
+
+
+def stop_service(process, name):
+    """SIGTERM and require the clean-shutdown contract: exit code 0."""
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=180)
+    if code != 0:
+        raise AssertionError(f"service {name} exited {code}, not 0")
+    print(f"service {name}: clean shutdown (exit 0)")
+
+
+def _pool_worker_pids(service_pid):
+    """The service's forked pool workers (children, minus bookkeeping
+    processes like the multiprocessing resource tracker)."""
+    workers = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "rb") as handle:
+                fields = handle.read().split(b")")[-1].split()
+            if int(fields[1]) != service_pid:  # field 4 overall: ppid
+                continue
+            cmdline = Path(f"/proc/{entry}/cmdline").read_bytes()
+        except (OSError, ValueError, IndexError):
+            continue
+        if b"resource_tracker" in cmdline:
+            continue
+        workers.append(int(entry))
+    return workers
+
+
+class WorkerKiller(threading.Thread):
+    """SIGKILL a random pool worker every ``interval`` seconds."""
+
+    def __init__(self, service_pid, kills, interval=1.5, seed=1):
+        super().__init__(name="worker-killer", daemon=True)
+        self.service_pid = service_pid
+        self.kills = kills
+        self.interval = interval
+        self.rng = random.Random(seed)
+        self.killed = []
+        self._halt = threading.Event()
+
+    def run(self):
+        while len(self.killed) < self.kills and not self._halt.is_set():
+            self._halt.wait(self.interval)
+            victims = _pool_worker_pids(self.service_pid)
+            if not victims:
+                continue
+            victim = self.rng.choice(victims)
+            try:
+                os.kill(victim, signal.SIGKILL)
+            except OSError:
+                continue
+            self.killed.append(victim)
+            print(f"killer: SIGKILLed pool worker {victim}")
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=10)
+
+
+# --------------------------------------------------------------------------
+# clients
+# --------------------------------------------------------------------------
+
+
+class PoliteClient(threading.Thread):
+    """Submit one sweep, honor shed hints, stream it to completion."""
+
+    def __init__(self, client, name, specs):
+        super().__init__(name=f"client-{name}", daemon=True)
+        self.client = client
+        self.client_name = name
+        self.specs = specs
+        self.results = None
+        self.failures = None
+        self.error = None
+
+    def run(self):
+        try:
+            job_id = self.client.submit_with_retry(
+                specs=_spec_payloads(self.specs),
+                client=self.client_name,
+                attempts=30,
+            )
+            self.results, self.failures = self.client.wait(job_id)
+        except Exception as exc:  # surfaced by the driver
+            self.error = exc
+
+
+class GreedyClient(threading.Thread):
+    """Burst far past the rate limit; record every shed's latency."""
+
+    def __init__(self, client, specs, submissions=8):
+        super().__init__(name="client-greedy", daemon=True)
+        self.client = client
+        self.specs = specs
+        self.submissions = submissions
+        self.job_ids = []
+        self.sheds = []  # (reason, retry_after, latency_seconds)
+        self.results = []
+        self.failures = []
+        self.error = None
+
+    def run(self):
+        try:
+            for index in range(self.submissions):
+                chunk = self.specs[index % len(self.specs):][:2] or \
+                    self.specs[:2]
+                started = time.monotonic()
+                try:
+                    job_id = self.client.submit(
+                        specs=_spec_payloads(chunk), client="greedy"
+                    )
+                    self.job_ids.append((job_id, len(chunk)))
+                except OverloadedError as exc:
+                    latency = time.monotonic() - started
+                    self.sheds.append(
+                        (exc.reason, exc.retry_after, latency)
+                    )
+            for job_id, _units in self.job_ids:
+                results, failures = self.client.wait(job_id)
+                self.results.append(results)
+                self.failures.append(failures)
+        except Exception as exc:
+            self.error = exc
+
+
+# --------------------------------------------------------------------------
+# assertions
+# --------------------------------------------------------------------------
+
+
+def check_job(name, results, failures, expected_units, golden):
+    """One job's contract: every unit resolved exactly once, all
+    successful, every digest golden."""
+    if failures:
+        raise AssertionError(f"{name}: failed units: {failures}")
+    indices = sorted(event["index"] for event in results)
+    if indices != list(range(expected_units)):
+        raise AssertionError(
+            f"{name}: lost/duplicated results — indices {indices}, "
+            f"expected 0..{expected_units - 1}"
+        )
+    for event in results:
+        if event["digest"] != golden[event["key"]]:
+            raise AssertionError(
+                f"{name}: digest mismatch for {event['key']}"
+            )
+
+
+def check_cache_reconciles(cache_dir, golden):
+    """Journal ∩ cache: every journaled-done spec has a loadable cache
+    entry, and nothing was torn or quarantined."""
+    states = {}
+    journal = cache_dir / "campaign.journal.jsonl"
+    for line in journal.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail from a kill — tolerated by design
+        states[record.get("key")] = record.get("state")
+    done = {key for key, state in states.items() if state == "done"}
+    missing = [key for key in done if not (cache_dir / f"{key}.pkl").exists()]
+    if missing:
+        raise AssertionError(f"journaled-done specs missing on disk: {missing}")
+    unknown = done - set(golden)
+    if unknown:
+        raise AssertionError(f"journal has unexpected spec keys: {unknown}")
+    corrupt = list(cache_dir.glob("*.corrupt"))
+    if corrupt:
+        raise AssertionError(f"corrupt cache entries: {corrupt}")
+    staged = list(cache_dir.glob("*.tmp"))
+    if staged:
+        raise AssertionError(f"leftover staging files: {staged}")
+    print(
+        f"cache reconciles: {len(done)} journaled-done specs all present, "
+        f"0 corrupt, 0 staging leftovers"
+    )
+
+
+def check_sheds(sheds):
+    if not sheds:
+        raise AssertionError(
+            "the greedy client was never shed — rate limit not enforced"
+        )
+    for reason, retry_after, latency in sheds:
+        if reason not in ("rate_limited", "queue_full"):
+            raise AssertionError(f"unstructured shed reason {reason!r}")
+        if retry_after <= 0:
+            raise AssertionError("shed without a retry_after hint")
+        if latency >= 1.0:
+            raise AssertionError(
+                f"shed answered in {latency:.2f}s (must be < 1s)"
+            )
+    fastest = min(latency for _, _, latency in sheds)
+    print(
+        f"sheds: {len(sheds)} structured refusals, fastest {fastest*1000:.0f}ms,"
+        f" all under 1s with retry_after hints"
+    )
+
+
+# --------------------------------------------------------------------------
+# phases
+# --------------------------------------------------------------------------
+
+
+def phase_one(workdir, golden, kills):
+    """One service, four concurrent clients, random worker SIGKILLs."""
+    print("\n--- phase 1: concurrent clients + worker kills ---")
+    cache = workdir / "cache"
+    specs = _specs()
+    service, client = start_service(
+        workdir, cache, "svc", rate=3.0, burst=6.0, workers=2
+    )
+    killer = WorkerKiller(service.pid, kills=kills)
+    polite = [
+        PoliteClient(client, "alice", specs[0:4]),
+        PoliteClient(client, "bob", specs[4:8]),
+        PoliteClient(client, "carol", specs[8:10]),
+    ]
+    greedy = GreedyClient(client, specs)
+    killer.start()
+    for thread in (*polite, greedy):
+        thread.start()
+    for thread in (*polite, greedy):
+        thread.join(timeout=600)
+        if thread.is_alive():
+            raise AssertionError(f"{thread.name} never finished")
+    killer.stop()
+    print(f"killer: {len(killer.killed)} worker kills delivered")
+
+    for thread in polite:
+        if thread.error is not None:
+            raise AssertionError(
+                f"{thread.name}: {thread.error!r}"
+            ) from thread.error
+        check_job(
+            thread.name, thread.results, thread.failures,
+            len(thread.specs), golden,
+        )
+    if greedy.error is not None:
+        raise AssertionError(f"greedy client: {greedy.error!r}")
+    for (job_id, units), results, failures in zip(
+        greedy.job_ids, greedy.results, greedy.failures
+    ):
+        check_job(f"greedy job {job_id}", results, failures, units, golden)
+    check_sheds(greedy.sheds)
+    admitted = len(polite) + len(greedy.job_ids)
+    print(f"all {admitted} admitted jobs complete, digests byte-identical")
+
+    stats = client.stats()
+    counters = stats["counters"]
+    print(
+        "service counters: "
+        f"completed={counters['service']['units_completed']} "
+        f"retries={counters['service']['retries']} "
+        f"respawns={counters['service']['worker_respawns']} "
+        f"shed={counters['admission']['jobs_shed']}"
+    )
+    stop_service(service, "svc")
+    check_cache_reconciles(cache, golden)
+
+
+def phase_two(workdir, golden):
+    """Two service processes share one cache directory."""
+    print("\n--- phase 2: two services, one cache directory ---")
+    cache = workdir / "shared-cache"
+    specs = _specs()
+    service_a, client_a = start_service(
+        workdir, cache, "svc-a", rate=100.0, burst=100.0, workers=2
+    )
+    service_b, client_b = start_service(
+        workdir, cache, "svc-b", rate=100.0, burst=100.0, workers=2
+    )
+    # The same full sweep through both services at once: every spec key
+    # is racing two publishers.
+    runners = [
+        PoliteClient(client_a, "host-a", specs),
+        PoliteClient(client_b, "host-b", specs),
+    ]
+    for thread in runners:
+        thread.start()
+    for thread in runners:
+        thread.join(timeout=600)
+        if thread.is_alive():
+            raise AssertionError(f"{thread.name} never finished")
+    for thread in runners:
+        if thread.error is not None:
+            raise AssertionError(f"{thread.name}: {thread.error!r}")
+        check_job(
+            thread.name, thread.results, thread.failures, len(specs), golden
+        )
+    stop_service(service_a, "svc-a")
+    stop_service(service_b, "svc-b")
+    check_cache_reconciles(cache, golden)
+    print("two services shared one cache without a single torn entry")
+
+
+def drill(workdir, kills=3):
+    workdir.mkdir(parents=True, exist_ok=True)
+    golden = golden_digests(workdir)
+    phase_one(workdir, golden, kills)
+    phase_two(workdir, golden)
+    print(
+        "\nservice chaos drill passed: byte-identical results, zero "
+        "lost/duplicated units, structured sub-second sheds, clean "
+        "shutdowns, shared-cache safety"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="artifact directory (journal, heartbeats, logs); "
+        "default: a temp dir, removed on success",
+    )
+    parser.add_argument("--kills", type=int, default=3)
+    args = parser.parse_args()
+    if args.workdir:
+        drill(Path(args.workdir), kills=args.kills)
+    else:
+        workdir = Path(tempfile.mkdtemp(prefix="service-chaos-"))
+        drill(workdir, kills=args.kills)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

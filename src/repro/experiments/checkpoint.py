@@ -33,7 +33,6 @@ import hashlib
 import os
 import pickle
 import signal
-import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -103,7 +102,16 @@ def _quarantine(path: Path) -> None:
 
 
 def save_checkpoint(key: str, cycle: int, state: Dict) -> Path:
-    """Atomically publish a checkpoint, rotating the previous one."""
+    """Atomically publish a checkpoint, rotating the previous one.
+
+    Safe under concurrent writers of the same key (two hosts sharing the
+    cache directory can legitimately both run one spec): the rotation's
+    ``os.replace`` tolerates the current generation vanishing under us —
+    another writer just rotated it — and the publish itself stages into a
+    per-writer ``mkstemp`` file, fsyncs, and renames, so whichever writer
+    lands last leaves a complete envelope (the simulator is
+    deterministic, so either writer's envelope restores the same run).
+    """
     current, previous = checkpoint_paths(key)
     payload = pickle.dumps(
         {"spec_key": key, "cycle": cycle, "state": state},
@@ -113,11 +121,13 @@ def save_checkpoint(key: str, cycle: int, state: Dict) -> Path:
     directory = current.parent
     directory.mkdir(parents=True, exist_ok=True)
     if current.exists():
-        os.replace(current, previous)  # last-two retention
-    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    with os.fdopen(fd, "wb") as handle:
-        handle.write(blob)
-    os.replace(tmp_name, current)
+        try:
+            os.replace(current, previous)  # last-two retention
+        except FileNotFoundError:  # a concurrent writer won the rotation
+            pass
+    from repro.experiments.runner import _publish_atomic
+
+    _publish_atomic(directory, current, blob)
     return current
 
 

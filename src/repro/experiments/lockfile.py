@@ -1,0 +1,162 @@
+"""Cross-process (and cross-host) advisory file locks with stale takeover.
+
+The campaign cache directory is shared state: multiple runner processes —
+and, via a network filesystem, multiple *hosts* — append to one journal
+and rotate checkpoint generations concurrently.  Result publishes are
+already safe lock-free (atomic ``os.replace`` of a content-addressed
+path: last writer wins with identical bytes), but multi-record protocols
+like "rotate then write" need mutual exclusion.
+
+:class:`FileLock` implements the classic lockfile protocol on primitives
+every POSIX filesystem (including NFS) serializes:
+
+- **acquire** is ``os.open(path, O_CREAT | O_EXCL)`` — exactly one
+  contender wins creation; the token records owner pid/host/timestamp
+  for diagnostics;
+- **release** unlinks the token;
+- **stale takeover**: a lock whose token is older than ``stale_seconds``
+  belongs to a SIGKILLed/rebooted owner that can never release it.  A
+  contender *renames* the stale token aside (``os.replace`` onto a
+  ``.stale`` grave) before retrying — the rename succeeds for exactly one
+  contender, so two takers never both believe they freed the lock.
+
+Holders must finish their critical section well inside ``stale_seconds``
+(the journal appends and checkpoint rotations guarded here are a few
+syscalls).  Lock failures degrade, never block correctness: callers that
+cannot acquire within ``timeout`` get :class:`LockTimeout` and fall back
+to their lock-free behaviour, because everything the locks guard is a
+recovery aid layered over the content-addressed caches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+
+class LockTimeout(OSError):
+    """The lock stayed held (and fresh) past the acquisition timeout."""
+
+
+class FileLock:
+    """An advisory lockfile with stale-owner takeover.
+
+    Usable as a context manager::
+
+        with FileLock(cache_dir / "campaign.journal.lock"):
+            ...append...
+
+    ``stale_seconds`` bounds how long a dead owner can wedge the lock;
+    ``timeout`` bounds how long acquisition spins before raising
+    :class:`LockTimeout`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        stale_seconds: float = 30.0,
+        timeout: float = 10.0,
+        poll_interval: float = 0.02,
+    ):
+        self.path = Path(path)
+        self.stale_seconds = stale_seconds
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.takeovers = 0  #: stale locks broken by this instance
+        self._held = False
+
+    # -- token ---------------------------------------------------------------
+    def _token(self) -> bytes:
+        record = {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "ts": time.time(),
+        }
+        return (json.dumps(record, sort_keys=True) + "\n").encode()
+
+    def owner(self) -> Optional[dict]:
+        """The current token's contents (diagnostics), or ``None``."""
+        try:
+            return json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    # -- protocol ------------------------------------------------------------
+    def _try_create(self) -> bool:
+        try:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable directory: treat like contention; the caller's
+            # timeout converts a persistent failure into LockTimeout.
+            return False
+        try:
+            os.write(fd, self._token())
+        finally:
+            os.close(fd)
+        return True
+
+    def _break_if_stale(self) -> bool:
+        """Retire a stale token; True when this contender buried it."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return False  # released (or buried) under us — just retry
+        if age <= self.stale_seconds:
+            return False
+        grave = self.path.with_name(self.path.name + ".stale")
+        try:
+            # Exactly one contender wins this rename; the losers see
+            # FileNotFoundError and go back to the O_EXCL race.
+            os.replace(self.path, grave)
+        except OSError:
+            return False
+        try:
+            grave.unlink()
+        except OSError:  # pragma: no cover - concurrent cleanup
+            pass
+        self.takeovers += 1
+        return True
+
+    def acquire(self) -> "FileLock":
+        if self._held:
+            raise RuntimeError(f"lock already held: {self.path}")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_create():
+                self._held = True
+                return self
+            self._break_if_stale()
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within "
+                    f"{self.timeout}s (owner: {self.owner()})"
+                )
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:  # pragma: no cover - grave-robbed by a takeover
+            pass
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()

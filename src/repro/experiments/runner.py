@@ -390,22 +390,66 @@ def _disk_load(spec: RunSpec) -> Optional[SimulationResult]:
         return None
 
 
+def _publish_atomic(directory: Path, target: Path, blob: bytes) -> None:
+    """Publish ``blob`` at ``target`` atomically (tmp + fsync +
+    ``os.replace``).
+
+    This is the whole multi-writer cache protocol: every writer stages
+    into its own ``mkstemp`` file (unique per writer, so two processes —
+    or two hosts sharing the directory — never touch the same staging
+    file), fsyncs it so a host crash cannot publish a torn blob, and
+    renames into the content-addressed path.  Concurrent writers of the
+    same deterministic result race harmlessly: last rename wins with
+    identical bytes, and a reader always sees either a complete old blob
+    or a complete new one — never a partial write, never a ``.corrupt``
+    quarantine from a mid-publish read.  The staging file is removed on
+    any failure so aborted publishes cannot accumulate.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def _disk_store(spec: RunSpec, result: SimulationResult) -> None:
     if not disk_cache_enabled():
         return
-    directory = cache_dir()
     payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
     blob = _CACHE_MAGIC + hashlib.sha256(payload).digest() + payload
     try:
-        directory.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: concurrent writers of the same (deterministic)
-        # result race harmlessly — last rename wins with identical bytes.
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp_name, _disk_path(spec))
+        _publish_atomic(cache_dir(), _disk_path(spec), blob)
     except OSError:  # pragma: no cover - read-only cache dir
         pass
+
+
+def result_digest(result: SimulationResult) -> str:
+    """Stable content digest of one result's observable counters.
+
+    The same payload the chaos drills hash: both registry snapshots plus
+    the headline scalars, JSON-canonicalized.  Two runs of one spec are
+    bit-identical exactly when their digests match, so the service
+    streams this with every completed spec and the drills compare it
+    against a golden serial run.
+    """
+    payload = {
+        "full": sorted(result.snapshot_full.flat().items()),
+        "measured": sorted(result.snapshot_measured.flat().items()),
+        "cycles": result.cycles,
+        "avg_miss_latency": result.avg_miss_latency,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
 
 
 # --------------------------------------------------------------------------
@@ -650,20 +694,62 @@ def _journal_path() -> Path:
     return cache_dir() / "campaign.journal.jsonl"
 
 
+def _journal_lock() -> "FileLock":
+    """The journal's cross-process/cross-host write lock.
+
+    Appends are single ``O_APPEND`` writes (atomic on local filesystems)
+    but network filesystems can interleave concurrent appends, and the
+    service runs many journaling processes against one shared cache
+    directory — so writes serialize through a lockfile with stale-owner
+    takeover (a SIGKILLed holder's lock is broken after
+    ``REPRO_LOCK_STALE_SECONDS``, default 30)."""
+    from repro.experiments.lockfile import FileLock
+
+    stale = 30.0
+    env = os.environ.get("REPRO_LOCK_STALE_SECONDS", "").strip()
+    if env:
+        try:
+            stale = max(1.0, float(env))
+        except ValueError:
+            pass
+    return FileLock(
+        cache_dir() / "campaign.journal.lock",
+        stale_seconds=stale,
+        timeout=5.0,
+    )
+
+
 def _journal_append(key: str, state: str, **extra) -> None:
     """Append one spec-state record.  Journal I/O failures never take a
     campaign down — the journal is a recovery aid, not a correctness
     dependency (results still flow through the content-addressed
-    caches)."""
+    caches).  The record is encoded up front and written with one
+    ``os.write`` on an ``O_APPEND`` descriptor, under the journal
+    lockfile: concurrent writers (threads, processes, hosts) each land a
+    whole line or nothing — a torn *tail* can only come from a crash
+    mid-write, which replay already tolerates."""
+    from repro.experiments.lockfile import LockTimeout
+
     record = {"key": key, "state": state, "ts": time.time()}
     record.update(extra)
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
     path = _journal_path()
+    lock = _journal_lock()
+    try:
+        lock.acquire()
+    except (LockTimeout, OSError):
+        pass  # degrade to a lockless (still single-write) append
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        fd = os.open(path, os.O_CREAT | os.O_APPEND | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
     except OSError:
         pass
+    finally:
+        lock.release()
 
 
 def _journal_read() -> Dict[str, dict]:
@@ -761,6 +847,56 @@ def _heartbeat_writer(spec: RunSpec):
             pass
 
     return _beat
+
+
+def clean_stale_heartbeats(directory: Optional[Path] = None) -> int:
+    """Remove heartbeat files left behind by dead workers; returns the
+    count removed.
+
+    A SIGKILLed worker (watchdog kill, OOM, chaos drill) never unlinks
+    its ``hb_<pid>.json``, and a fresh watchdog pass would otherwise read
+    the orphan as a frozen cycle counter and try to "kill" a pid that is
+    long gone — or worse, one the OS has since recycled.  Runner startup
+    (and service startup) sweeps the directory first: a file whose pid no
+    longer exists, or that does not parse, is deleted.  A pid that exists
+    but belongs to another user (``EPERM``) is treated as alive — never
+    delete evidence about a process we cannot inspect.
+    """
+    if directory is None:
+        env = os.environ.get("REPRO_HEARTBEAT_DIR", "").strip()
+        if not env:
+            return 0
+        directory = Path(env)
+    removed = 0
+    try:
+        beats = list(directory.glob("hb_*.json"))
+    except OSError:
+        return 0
+    for path in beats:
+        stale = False
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            pid = int(record["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            stale = True  # unparseable: a torn write from a dying worker
+        else:
+            if pid == os.getpid():
+                continue  # our own live heartbeat
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                stale = True
+            except PermissionError:
+                continue  # alive under another uid
+            except OSError:
+                stale = True
+        if stale:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def _watchdog_seconds() -> Optional[float]:
@@ -866,6 +1002,10 @@ def _start_watchdog() -> Tuple[Optional[_Watchdog], bool]:
         Path(directory).mkdir(parents=True, exist_ok=True)
     except OSError:
         pass
+    # SIGKILLed workers from an earlier campaign leave orphan heartbeat
+    # files behind; sweep them before arming so the fresh watchdog never
+    # reasons about (or signals) a recycled pid.
+    clean_stale_heartbeats(Path(directory))
     return _Watchdog(Path(directory), stall).start(), set_here
 
 

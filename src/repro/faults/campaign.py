@@ -232,3 +232,38 @@ def run_fault_campaign(
         watchdog=watchdog,
         events=list(controller.events),
     )
+
+
+def run_campaign_payload(payload: Dict) -> Dict:
+    """Service-job entry point: one JSON payload in, one JSON summary out.
+
+    The campaign service (:mod:`repro.service`) schedules fault campaigns
+    through the same process pool as simulation specs, so the unit of
+    work must be a picklable module-level callable over plain data.  The
+    payload carries two optional sub-dicts, ``spec`` (CampaignSpec
+    fields) and ``plan`` (FaultPlan fields); unknown fields raise
+    ``TypeError`` from the dataclass constructors, surfacing to the
+    submitting client as a failed unit rather than a mis-parsed campaign.
+    """
+    spec_fields = dict(payload.get("spec") or {})
+    plan_fields = dict(payload.get("plan") or {})
+    spec = CampaignSpec(**spec_fields)
+    plan = FaultPlan(**plan_fields)
+    report = run_fault_campaign(spec, plan)
+    return {
+        "kind": "fault_campaign",
+        "describe": spec.describe(),
+        "plan_seed": report.plan.seed,
+        "clean": report.clean,
+        "cycles_run": report.cycles_run,
+        "packets_sent": report.packets_sent,
+        "packets_delivered": report.packets_delivered,
+        "faults_injected": report.faults_injected,
+        "by_kind": dict(report.by_kind),
+        "detected": report.detected,
+        "degraded": report.degraded,
+        "recovered": report.recovered,
+        "silent": report.silent,
+        "lost_payloads": report.lost_payloads,
+        "watchdog_fired": report.watchdog is not None,
+    }

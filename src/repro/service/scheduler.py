@@ -1,0 +1,694 @@
+"""The always-on campaign scheduler.
+
+:class:`CampaignService` turns the batch runner into a supervised
+service: clients submit jobs (spec sweeps and/or fault campaigns) at any
+time, an admission layer sheds overload with structured
+:class:`~repro.service.admission.Overloaded` responses, and admitted
+work flows through per-worker priority queues into the existing
+``ProcessPoolExecutor`` machinery, streaming each unit's result the
+moment it completes.
+
+Scheduling model
+----------------
+Each of ``workers`` dispatcher threads owns a priority heap (ordered by
+client priority, then global FIFO sequence).  A submission shards its
+units round-robin across the heaps; an idle worker first drains its own
+heap, then **steals** the best unit from the most-backlogged peer — so
+one giant sweep cannot convoy small jobs behind it, and no worker idles
+while any queue holds work.  Units backing off after a failure sit in a
+shared delayed set until their deadline, then rejoin the least-loaded
+heap.
+
+Robustness (the PR 7 machinery, extended)
+-----------------------------------------
+- Every spec unit journals ``pending``/``running``/``done``/``failed``/
+  ``quarantined`` through the runner's locked campaign journal, so a
+  killed service resumes exactly like a killed batch.
+- A worker-process death (``BrokenProcessPool`` — OOM, chaos SIGKILL, or
+  the heartbeat watchdog killing a wedged worker) respawns the pool once
+  per generation and counts an *interruption* against the in-flight
+  units; a unit interrupted ``REPRO_QUARANTINE_AFTER`` consecutive times
+  is quarantined instead of retried forever.  Ordinary exceptions get
+  one retry with capped jittered backoff, then fail the unit.
+- Stale heartbeat files are swept at startup
+  (:func:`~repro.experiments.runner.clean_stale_heartbeats`) and the
+  heartbeat watchdog is armed whenever ``REPRO_WATCHDOG_SECONDS`` is
+  set, exactly as in the batch runner.
+- Results publish through the same content-addressed caches (memo +
+  atomic-rename disk entries), so many service processes — on many hosts
+  — can share one cache directory without corrupting an entry.
+
+Every decision is counted (:class:`ServiceStats` +
+:class:`~repro.service.admission.AdmissionStats`, both registered in a
+:class:`~repro.sim.stats.StatsRegistry`) and sampled into a
+:class:`~repro.telemetry.sampler.WallClockSeries` (queue depth, queue
+age, shed markers) for the ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import os
+import signal
+import threading
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as _FutureTimeout,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments import runner as _runner
+from repro.faults.campaign import run_campaign_payload
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionStats,
+    Overloaded,
+)
+from repro.service.jobs import (
+    UNIT_CAMPAIGN,
+    UNIT_SPEC,
+    Job,
+    WorkUnit,
+    spec_from_payload,
+)
+from repro.sim.stats import StatsRegistry
+from repro.telemetry.log import get_logger
+from repro.telemetry.sampler import WallClockSeries
+
+_LOG = get_logger("repro.service")
+
+#: Cap on the exponential retry backoff (seconds) — matches the batch
+#: runner's resume backoff cap.
+_BACKOFF_CAP = 5.0
+
+
+@dataclass
+class ServiceStats:
+    """Scheduler counters (the ``service`` stat group)."""
+
+    #: Work units resolved successfully (fresh simulation or cache).
+    units_completed: int = 0
+    #: Units that exhausted their error retry and failed.
+    units_failed: int = 0
+    #: Units quarantined after the crash-loop interruption bound.
+    units_quarantined: int = 0
+    #: Units served straight from the memo/disk caches (no pool trip).
+    cache_hits: int = 0
+    #: Jobs whose every unit completed.
+    jobs_completed: int = 0
+    #: Jobs with at least one failed/quarantined unit.
+    jobs_failed: int = 0
+    #: Units a worker took from a peer's queue.
+    steals: int = 0
+    #: Re-enqueues after an error or interruption.
+    retries: int = 0
+    #: Process pools torn down and respawned after a worker death.
+    worker_respawns: int = 0
+    #: Sum of unit queue ages (milliseconds) at dispatch + sample count;
+    #: ``queue_age_ms_total / queue_age_samples`` is the mean queue age.
+    queue_age_ms_total: int = 0
+    queue_age_samples: int = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Registry-provider view of the group."""
+        return {
+            "units_completed": self.units_completed,
+            "units_failed": self.units_failed,
+            "units_quarantined": self.units_quarantined,
+            "cache_hits": self.cache_hits,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "steals": self.steals,
+            "retries": self.retries,
+            "worker_respawns": self.worker_respawns,
+            "queue_age_ms_total": self.queue_age_ms_total,
+            "queue_age_samples": self.queue_age_samples,
+        }
+
+
+def _quarantine_after() -> int:
+    return _runner._quarantine_after()
+
+
+def _pool_worker_init() -> None:
+    """Restore default signal dispositions in pool workers.
+
+    The service's main process installs a graceful SIGTERM handler;
+    forked pool workers inherit it, which would make them *swallow* the
+    SIGTERM the executor itself sends during broken-pool cleanup — the
+    worker lingers, the executor's join never returns, and interpreter
+    shutdown wedges.  Workers must die on SIGTERM and ignore the
+    terminal's SIGINT (the main process coordinates shutdown)."""
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class CampaignService:
+    """A supervised, always-on front for the campaign runner."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        rate: float = 8.0,
+        burst: float = 32.0,
+        max_queue_depth: int = 256,
+        error_retries: int = 1,
+        registry: Optional[StatsRegistry] = None,
+    ):
+        self.workers = max(1, workers or _runner.default_jobs())
+        self.error_retries = max(0, error_retries)
+        self.stats = ServiceStats()
+        self.admission = AdmissionController(
+            rate=rate,
+            burst=burst,
+            max_queue_depth=max_queue_depth,
+            stats=AdmissionStats(),
+        )
+        self.registry = registry if registry is not None else StatsRegistry()
+        self.registry.register("service", self.stats.counters)
+        self.registry.register("admission", self.admission.stats.counters)
+        self.series = WallClockSeries()
+        self.jobs: Dict[str, Job] = {}
+        self.started_mono: Optional[float] = None
+
+        self._cond = threading.Condition()
+        self._heaps: List[List[Tuple[Tuple[int, int], WorkUnit]]] = [
+            [] for _ in range(self.workers)
+        ]
+        self._delayed: List[WorkUnit] = []
+        self._inflight = 0
+        self._shard_rr = 0
+        self._accepting = False
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._pool_lock = threading.Lock()
+        self._watchdog = None
+        self._hb_set_here = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "CampaignService":
+        if self._threads:
+            raise RuntimeError("service already started")
+        # Sweep heartbeat orphans from previous (SIGKILLed) incarnations
+        # before any supervision arms — see satellite in runner.
+        swept = _runner.clean_stale_heartbeats()
+        if swept:
+            _LOG.info("startup: removed %d stale heartbeat files", swept)
+        self._watchdog, self._hb_set_here = _runner._start_watchdog()
+        self._accepting = True
+        self.started_mono = time.monotonic()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        _LOG.info(
+            "service up: %d workers, rate %.1f/s burst %.0f, "
+            "queue bound %d",
+            self.workers,
+            self.admission.rate,
+            self.admission.burst,
+            self.admission.max_queue_depth,
+        )
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> bool:
+        """Stop accepting, optionally drain the backlog, stop everything.
+
+        Returns True when the backlog drained inside ``timeout`` (always
+        True with ``drain=False``, which abandons queued units).
+        """
+        deadline = time.monotonic() + timeout
+        drained = True
+        with self._cond:
+            self._accepting = False
+            self._cond.notify_all()
+        if drain:
+            with self._cond:
+                while self.queue_depth() > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        drained = False
+                        break
+                    self._cond.wait(timeout=min(0.25, remaining))
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        _runner._stop_watchdog(self._watchdog, self._hb_set_here)
+        self._watchdog = None
+        _LOG.info(
+            "service down (%s)", "drained" if drained else "abandoned backlog"
+        )
+        return drained
+
+    # -- introspection -------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Queued + delayed + in-flight units (callers may hold _cond)."""
+        return (
+            sum(len(heap) for heap in self._heaps)
+            + len(self._delayed)
+            + self._inflight
+        )
+
+    def drain_rate(self, seconds: float = 30.0) -> float:
+        """Recent completion throughput (units/second)."""
+        return self.series.rate("completed", seconds)
+
+    def snapshot(self):
+        """One immutable sample of every service counter group."""
+        return self.registry.snapshot()
+
+    def live(self) -> bool:
+        """Liveness: the dispatcher threads are running."""
+        return bool(self._threads) and all(
+            thread.is_alive() for thread in self._threads
+        )
+
+    def ready(self) -> Tuple[bool, Dict]:
+        """Readiness + detail: accepting, with queue headroom, workers
+        alive, and (when supervision is on) fresh heartbeats."""
+        with self._cond:
+            depth = self.queue_depth()
+        detail = {
+            "accepting": self._accepting,
+            "queue_depth": depth,
+            "max_queue_depth": self.admission.max_queue_depth,
+            "workers_alive": self.live(),
+            "heartbeats": self._heartbeat_summary(),
+        }
+        ok = (
+            self._accepting
+            and self.live()
+            and depth < self.admission.max_queue_depth
+        )
+        return ok, detail
+
+    def _heartbeat_summary(self) -> Dict:
+        """Worker heartbeat freshness (rides the PR 7 heartbeat files)."""
+        directory = os.environ.get("REPRO_HEARTBEAT_DIR", "").strip()
+        summary = {"dir": directory or None, "workers": 0, "freshest_age": None}
+        if not directory:
+            return summary
+        freshest = None
+        try:
+            for path in Path(directory).glob("hb_*.json"):
+                age = time.time() - path.stat().st_mtime
+                freshest = age if freshest is None else min(freshest, age)
+                summary["workers"] += 1
+        except OSError:
+            return summary
+        if freshest is not None:
+            summary["freshest_age"] = round(freshest, 3)
+        return summary
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self,
+        specs: Sequence = (),
+        campaigns: Sequence[Dict] = (),
+        client: str = "anon",
+        priority: int = 5,
+    ) -> Union[Job, Overloaded]:
+        """Admit-or-shed one submission.
+
+        ``specs`` may be :class:`RunSpec` objects or client dicts (parsed
+        and validated here); ``campaigns`` are fault-campaign payloads
+        for :func:`~repro.faults.campaign.run_campaign_payload`.  Returns
+        the queued :class:`Job`, or the :class:`Overloaded` decision —
+        never raises for overload, never blocks beyond O(1) bookkeeping.
+        """
+        units_payload: List[Tuple[str, object]] = []
+        for payload in specs:
+            if isinstance(payload, _runner.RunSpec):
+                units_payload.append((UNIT_SPEC, payload))
+            else:
+                units_payload.append((UNIT_SPEC, spec_from_payload(payload)))
+        for payload in campaigns:
+            if not isinstance(payload, dict):
+                raise ValueError("campaign payloads must be objects")
+            units_payload.append((UNIT_CAMPAIGN, dict(payload)))
+        if not units_payload:
+            raise ValueError("a submission must carry specs or campaigns")
+        if not self._accepting:
+            decision = Overloaded(
+                reason="queue_full",
+                retry_after=self.admission.MAX_RETRY_AFTER,
+                client=client,
+                detail="service is shutting down",
+            )
+            self.admission.stats.jobs_shed += 1
+            self.admission.stats.units_shed += len(units_payload)
+            self.admission.stats.shed_queue_full += 1
+            self._record_shed(decision, len(units_payload))
+            return decision
+        with self._cond:
+            depth = self.queue_depth()
+            decision = self.admission.admit(
+                client,
+                len(units_payload),
+                depth,
+                drain_rate=self.drain_rate(),
+            )
+            if decision is not None:
+                self._record_shed(decision, len(units_payload))
+                return decision
+            job = Job(client, priority, units_payload)
+            self.jobs[job.job_id] = job
+            for unit in job.units:
+                if unit.kind == UNIT_SPEC:
+                    _runner._journal_append(unit.key, "pending")
+                self._enqueue_locked(unit)
+            self._cond.notify_all()
+        self.series.record(queue_depth=depth + len(job.units), admitted=1)
+        _LOG.info(
+            "admitted job %s: client=%s priority=%d units=%d",
+            job.job_id,
+            client,
+            priority,
+            job.total,
+        )
+        return job
+
+    def _record_shed(self, decision: Overloaded, units: int) -> None:
+        self.series.record(shed=1, shed_units=units)
+        _LOG.warning(
+            "shed %d units from client %s: %s (retry_after %.2fs)",
+            units,
+            decision.client,
+            decision.reason,
+            decision.retry_after,
+        )
+
+    def _enqueue_locked(self, unit: WorkUnit) -> None:
+        """Place a unit on the least-loaded heap (callers hold _cond)."""
+        unit.enqueued = time.monotonic()
+        target = min(range(self.workers), key=lambda i: len(self._heaps[i]))
+        if len(self._heaps[target]) == len(self._heaps[self._shard_rr]):
+            target = self._shard_rr  # break ties round-robin
+        self._shard_rr = (self._shard_rr + 1) % self.workers
+        heapq.heappush(self._heaps[target], (unit.order_key(), unit))
+
+    # -- the worker loop -----------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        while True:
+            unit = self._next_unit(index)
+            if unit is None:
+                return  # stopping
+            try:
+                self._execute(unit)
+            except BaseException:  # pragma: no cover - last-ditch guard
+                _LOG.exception(
+                    "worker %d: unhandled error on %s", index, unit.describe()
+                )
+                self._resolve_failure(unit, "internal scheduler error")
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    def _next_unit(self, index: int) -> Optional[WorkUnit]:
+        """Own heap first, then steal; block when everything is idle."""
+        with self._cond:
+            while True:
+                if self._stopping:
+                    return None
+                now = time.monotonic()
+                self._promote_delayed_locked(now)
+                unit = self._pop_locked(index)
+                if unit is None:
+                    victim = max(
+                        (i for i in range(self.workers) if i != index),
+                        key=lambda i: len(self._heaps[i]),
+                        default=None,
+                    )
+                    if victim is not None and self._heaps[victim]:
+                        unit = self._pop_locked(victim)
+                        if unit is not None:
+                            self.stats.steals += 1
+                if unit is not None:
+                    self._inflight += 1
+                    return unit
+                timeout = 0.25
+                if self._delayed:
+                    soonest = min(u.ready_at for u in self._delayed)
+                    timeout = max(0.01, min(timeout, soonest - now))
+                self._cond.wait(timeout=timeout)
+
+    def _pop_locked(self, index: int) -> Optional[WorkUnit]:
+        heap = self._heaps[index]
+        if not heap:
+            return None
+        return heapq.heappop(heap)[1]
+
+    def _promote_delayed_locked(self, now: float) -> None:
+        if not self._delayed:
+            return
+        due = [unit for unit in self._delayed if unit.ready_at <= now]
+        if not due:
+            return
+        self._delayed = [u for u in self._delayed if u.ready_at > now]
+        for unit in due:
+            self._enqueue_locked(unit)
+
+    # -- execution -----------------------------------------------------------
+    def _execute(self, unit: WorkUnit) -> None:
+        age_ms = int((time.monotonic() - unit.enqueued) * 1000)
+        self.stats.queue_age_ms_total += age_ms
+        self.stats.queue_age_samples += 1
+        self.series.record(queue_age_ms=age_ms)
+        unit.job.mark_started()
+        if unit.kind == UNIT_SPEC:
+            self._execute_spec(unit)
+        else:
+            self._execute_campaign(unit)
+
+    def _execute_spec(self, unit: WorkUnit) -> None:
+        spec = unit.spec
+        mode = _runner._kernel_mode()
+        cached = _runner._CACHE.get((spec, mode))
+        if cached is None:
+            cached = _runner._disk_load(spec)
+            if cached is not None:
+                _runner._CACHE[(spec, mode)] = cached
+        if cached is not None:
+            self.stats.cache_hits += 1
+            _runner._journal_append(unit.key, "done")
+            self._resolve_result(unit, self._spec_summary(unit, cached, True))
+            return
+        _runner._journal_append(unit.key, "running")
+        generation = self._pool_generation
+        try:
+            future = self._pool_submit(_runner._simulate, spec)
+            result = future.result(timeout=_runner._spec_timeout())
+        except BrokenProcessPool:
+            self._respawn_pool(generation)
+            self._interrupted(unit, "worker process died")
+            return
+        except _FutureTimeout:
+            future.cancel()
+            self._errored(
+                unit, f"spec exceeded {_runner._spec_timeout()}s"
+            )
+            return
+        except Exception as exc:
+            self._errored(unit, repr(exc))
+            return
+        _runner._store(spec, result, verbose=False)
+        _runner._journal_append(unit.key, "done")
+        self._resolve_result(unit, self._spec_summary(unit, result, False))
+
+    def _execute_campaign(self, unit: WorkUnit) -> None:
+        generation = self._pool_generation
+        try:
+            future = self._pool_submit(run_campaign_payload, unit.payload)
+            summary = future.result(timeout=_runner._spec_timeout())
+        except BrokenProcessPool:
+            self._respawn_pool(generation)
+            self._interrupted(unit, "worker process died")
+            return
+        except _FutureTimeout:
+            future.cancel()
+            self._errored(
+                unit, f"campaign exceeded {_runner._spec_timeout()}s"
+            )
+            return
+        except Exception as exc:
+            self._errored(unit, repr(exc))
+            return
+        event = {
+            "type": "result",
+            "job": unit.job.job_id,
+            "index": unit.index,
+            "key": unit.key,
+            "campaign": summary,
+        }
+        self._resolve_result(unit, event)
+
+    def _spec_summary(self, unit: WorkUnit, result, cached: bool) -> Dict:
+        return {
+            "type": "result",
+            "job": unit.job.job_id,
+            "index": unit.index,
+            "key": unit.key,
+            "digest": _runner.result_digest(result),
+            "cached": cached,
+            "scheme": unit.spec.scheme,
+            "workload": unit.spec.workload,
+            "cycles": result.cycles,
+            "avg_miss_latency": result.avg_miss_latency,
+        }
+
+    # -- failure/retry plumbing ----------------------------------------------
+    def _interrupted(self, unit: WorkUnit, message: str) -> None:
+        """A worker died under the unit — the crash-loop path."""
+        unit.interruptions += 1
+        unit.last_error = message
+        limit = _quarantine_after()
+        if unit.interruptions >= limit:
+            self.stats.units_quarantined += 1
+            if unit.kind == UNIT_SPEC:
+                _runner._journal_append(
+                    unit.key, "quarantined", attempts=unit.interruptions
+                )
+            _LOG.warning(
+                "quarantined %s after %d interruptions",
+                unit.describe(),
+                unit.interruptions,
+            )
+            self._resolve_failure(
+                unit,
+                f"quarantined after {unit.interruptions} interrupted "
+                f"attempts: {message}",
+                quarantined=True,
+            )
+            return
+        self._requeue(unit, unit.interruptions, message)
+
+    def _errored(self, unit: WorkUnit, message: str) -> None:
+        """The unit's own exception/timeout — bounded ordinary retries."""
+        unit.errors += 1
+        unit.last_error = message
+        if unit.errors > self.error_retries:
+            if unit.kind == UNIT_SPEC:
+                _runner._journal_append(unit.key, "failed", error=message)
+            self._resolve_failure(unit, message)
+            return
+        self._requeue(unit, unit.errors, message)
+
+    def _requeue(self, unit: WorkUnit, attempt: int, message: str) -> None:
+        base = (
+            _runner._retry_backoff(unit.spec)
+            if unit.kind == UNIT_SPEC
+            else _runner._retry_backoff()
+        )
+        delay = min(max(base, 0.05) * (2 ** (attempt - 1)), _BACKOFF_CAP)
+        unit.ready_at = time.monotonic() + delay
+        self.stats.retries += 1
+        self.series.record(retry=1)
+        _LOG.info(
+            "retrying %s in %.2fs (attempt %d): %s",
+            unit.describe(),
+            delay,
+            attempt,
+            message,
+        )
+        with self._cond:
+            self._delayed.append(unit)
+            self._cond.notify_all()
+
+    # -- resolution ----------------------------------------------------------
+    def _resolve_result(self, unit: WorkUnit, event: Dict) -> None:
+        self.stats.units_completed += 1
+        self.series.record(completed=1)
+        unit.job.publish(event)
+        self._maybe_finish(unit.job)
+
+    def _resolve_failure(
+        self, unit: WorkUnit, message: str, quarantined: bool = False
+    ) -> None:
+        self.stats.units_failed += 1
+        self.series.record(failed=1)
+        unit.job.publish(
+            {
+                "type": "failed",
+                "job": unit.job.job_id,
+                "index": unit.index,
+                "key": unit.key,
+                "error": message,
+                "quarantined": quarantined,
+            }
+        )
+        self._maybe_finish(unit.job)
+
+    def _maybe_finish(self, job: Job) -> None:
+        if not job.claim_done():
+            return
+        failed = len(job.failures)
+        if failed:
+            self.stats.jobs_failed += 1
+        else:
+            self.stats.jobs_completed += 1
+        job.publish(
+            {
+                "type": "done",
+                "job": job.job_id,
+                "completed": len(job.results),
+                "failed": failed,
+                "elapsed": round(time.monotonic() - job.submitted_mono, 3),
+            }
+        )
+        _LOG.info(
+            "job %s finished: %d completed, %d failed",
+            job.job_id,
+            len(job.results),
+            failed,
+        )
+
+    # -- the process pool ----------------------------------------------------
+    def _pool_submit(self, fn, *args):
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_worker_init,
+                )
+            return self._pool.submit(fn, *args)
+
+    def _respawn_pool(self, generation: int) -> None:
+        """Tear down a broken pool exactly once per generation (every
+        in-flight unit sees the same ``BrokenProcessPool``)."""
+        with self._pool_lock:
+            if generation != self._pool_generation:
+                return  # a sibling already respawned
+            self._pool_generation += 1
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.stats.worker_respawns += 1
+        self.series.record(respawn=1)
+        _LOG.warning("process pool died; respawned (generation %d)",
+                     self._pool_generation)
+
+    # -- logging handshake ---------------------------------------------------
+    def enable_verbose(self) -> None:
+        from repro.telemetry.log import ensure_level
+
+        ensure_level(logging.INFO)

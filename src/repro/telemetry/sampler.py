@@ -199,3 +199,79 @@ class TimeSeriesSampler:
             f"TimeSeriesSampler(every {self.interval} cycles, "
             f"{len(self._windows)}/{self.capacity} windows)"
         )
+
+
+class WallClockSeries:
+    """Bounded wall-clock time series for *service-side* gauges.
+
+    The kernel-cycle sampler above cannot observe the campaign service —
+    queue depth, per-job queue age and shed decisions happen between
+    simulations, on the wall clock.  This is the same ring-buffer design
+    re-keyed on ``time.time()``: every :meth:`record` call appends one
+    point (a dict of numeric gauges), the ring bounds memory, evictions
+    are counted, and :meth:`rate` folds any key into an events-per-second
+    figure over a trailing window — the shed-rate and queue-age curves
+    the service's ``/stats`` endpoint exposes.
+
+    Thread-safe: the service records from its admission path and from
+    every worker thread concurrently.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        import threading
+        import time as _time
+
+        self.capacity = capacity
+        self.evicted = 0
+        self._clock = _time.time
+        self._lock = threading.Lock()
+        self._points: Deque[Dict[str, float]] = deque(maxlen=capacity)
+
+    def record(self, **gauges: float) -> None:
+        """Append one point stamped with the current wall-clock time."""
+        point = {"ts": self._clock()}
+        for key, value in gauges.items():
+            point[key] = float(value)
+        with self._lock:
+            if len(self._points) == self.capacity:
+                self.evicted += 1
+            self._points.append(point)
+
+    def points(self, limit: Optional[int] = None) -> List[Dict[str, float]]:
+        """The retained points, oldest first (optionally the last N)."""
+        with self._lock:
+            points = list(self._points)
+        if limit is not None:
+            points = points[-limit:]
+        return points
+
+    def window(self, seconds: float) -> List[Dict[str, float]]:
+        """Points recorded within the trailing ``seconds`` window."""
+        horizon = self._clock() - seconds
+        return [p for p in self.points() if p["ts"] >= horizon]
+
+    def rate(self, key: str, seconds: float = 60.0) -> float:
+        """Sum of ``key`` over the trailing window, per second."""
+        if seconds <= 0:
+            raise ValueError("window must be positive")
+        total = sum(p.get(key, 0.0) for p in self.window(seconds))
+        return total / seconds
+
+    def mean(self, key: str, seconds: float = 60.0) -> float:
+        """Mean of ``key`` over the trailing window (0.0 when empty)."""
+        points = [p[key] for p in self.window(seconds) if key in p]
+        if not points:
+            return 0.0
+        return sum(points) / len(points)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WallClockSeries({len(self)}/{self.capacity} points, "
+            f"{self.evicted} evicted)"
+        )

@@ -600,3 +600,145 @@ class TestCampaignJournal:
 def test_cache_dir_override(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
     assert runner.cache_dir() == Path(tmp_path / "elsewhere")
+
+
+class TestQuarantineBoundary:
+    """The crash-loop bound is exact: N interrupted attempts quarantine,
+    N-1 retry (the other half of the boundary is
+    ``test_resume_quarantines_crash_looped_specs`` above)."""
+
+    def test_one_below_the_bound_retries_and_completes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_AFTER", "3")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        spec = RunSpec(scheme="baseline", **QUICK)
+        key = spec_key(spec)
+        for _ in range(2):  # N-1 interrupted attempts on record
+            runner._journal_append(key, "running")
+        out = run_specs([spec], jobs=1, resume=True)
+        assert out[spec].cycles > 0
+        assert runner._journal_read()[key]["state"] == "done"
+
+    def test_exactly_at_the_bound_quarantines(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_AFTER", "3")
+        spec = RunSpec(scheme="baseline", **QUICK)
+        key = spec_key(spec)
+        for _ in range(3):
+            runner._journal_append(key, "running")
+        with pytest.raises(RunnerError):
+            run_specs([spec], jobs=1, resume=True)
+        assert runner._journal_read()[key]["state"] == "quarantined"
+
+
+class TestTornTailReplay:
+    def test_resume_replays_past_a_torn_tail(self, tmp_path, monkeypatch):
+        """A journal whose last line was cut mid-write (writer SIGKILLed
+        inside the append) must not poison resume: intact records still
+        replay, the torn record is dropped, and done specs are served
+        without recomputation."""
+        done_spec = RunSpec(scheme="baseline", **QUICK)
+        torn_spec = RunSpec(scheme="disco", **QUICK)
+        run_specs([done_spec], jobs=1)
+        clear_cache()  # drop the memo; disk cache + journal remain
+        torn = json.dumps({"key": spec_key(torn_spec), "state": "running"})
+        with open(runner._journal_path(), "a", encoding="utf-8") as handle:
+            handle.write(torn[: len(torn) // 2])  # no trailing newline
+        log = tmp_path / "sims.log"
+        monkeypatch.setenv("REPRO_SIM_LOG", str(log))
+        out = run_specs([done_spec, torn_spec], jobs=1, resume=True)
+        assert set(out) == {done_spec, torn_spec}
+        executed = set(log.read_text().split())
+        assert spec_key(done_spec) not in executed  # no recompute
+        assert spec_key(torn_spec) in executed
+        entries = runner._journal_read()
+        assert entries[spec_key(done_spec)]["state"] == "done"
+        assert entries[spec_key(torn_spec)]["state"] == "done"
+
+
+class TestStaleHeartbeatCleanup:
+    def test_dead_and_torn_removed_live_and_own_kept(self, tmp_path):
+        beats = tmp_path / "hb"
+        beats.mkdir()
+        # A pid that existed and is gone: a just-reaped child of ours.
+        child = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(child.stdout)
+        (beats / f"hb_{dead_pid}.json").write_text(
+            json.dumps({"pid": dead_pid, "cycle": 10})
+        )
+        (beats / f"hb_{os.getpid()}.json").write_text(
+            json.dumps({"pid": os.getpid(), "cycle": 10})
+        )
+        (beats / "hb_1.json").write_text(json.dumps({"pid": 1, "cycle": 1}))
+        (beats / "hb_torn.json").write_text('{"pid": 12')  # torn write
+        removed = runner.clean_stale_heartbeats(beats)
+        assert removed == 2  # the dead pid and the torn file
+        survivors = sorted(path.name for path in beats.glob("hb_*.json"))
+        assert survivors == sorted(
+            [f"hb_{os.getpid()}.json", "hb_1.json"]
+        )
+
+    def test_defaults_to_the_heartbeat_env_dir(self, tmp_path, monkeypatch):
+        assert runner.clean_stale_heartbeats() == 0  # env unset: no-op
+        beats = tmp_path / "hb"
+        beats.mkdir()
+        (beats / "hb_junk.json").write_text("not json")
+        monkeypatch.setenv("REPRO_HEARTBEAT_DIR", str(beats))
+        assert runner.clean_stale_heartbeats() == 1
+
+
+_RACE_CHILD = r"""
+import os, sys, time
+from repro.experiments import runner
+from repro.experiments.runner import RunSpec, result_digest
+
+spec = RunSpec(scheme="baseline", workload="x264", accesses_per_core=40)
+result = runner._simulate(spec)
+deadline = float(os.environ["RACE_START"])
+while time.time() < deadline:  # line both writers up on one instant
+    time.sleep(0.001)
+for _ in range(int(os.environ["RACE_ITERATIONS"])):
+    runner._disk_store(spec, result)
+    loaded = runner._disk_load(spec)
+    assert loaded is not None, "reader saw a torn publish"
+    assert result_digest(loaded) == result_digest(result)
+print(result_digest(result))
+"""
+
+
+class TestConcurrentPublishRace:
+    def test_two_processes_publishing_one_key_never_tear_it(
+        self, tmp_path
+    ):
+        """Satellite regression: two processes repeatedly publishing and
+        reading the same spec key against one shared cache directory.
+        Atomic rename publish means every read returns a complete blob —
+        no ``.corrupt`` quarantines, no leftover staging files."""
+        cache = tmp_path / "shared-cache"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(cache)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        env["RACE_START"] = str(time.time() + 2.0)
+        env["RACE_ITERATIONS"] = "150"
+        children = [
+            subprocess.Popen(
+                [sys.executable, "-c", _RACE_CHILD],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        outputs = []
+        for child in children:
+            out, err = child.communicate(timeout=120)
+            assert child.returncode == 0, err
+            outputs.append(out.strip())
+        assert outputs[0] == outputs[1]  # deterministic, identical bytes
+        assert list(cache.glob("*.corrupt")) == []
+        assert list(cache.glob("*.tmp")) == []
+        assert len(list(cache.glob("*.pkl"))) == 1
