@@ -1,0 +1,379 @@
+#!/usr/bin/env python3
+"""Observability chaos drill: scrape, kill, and join everything on one id.
+
+The drill boots the real service (``python -m repro.service``) with the
+whole observability plane armed — flight recorder, heartbeats, watchdog —
+and walks the acceptance path end to end:
+
+1. **submit**: one sweep through ``POST /submit``; the 202 response
+   carries the minted correlation id;
+2. **scrape**: a scraper thread hits ``GET /metrics`` throughout the
+   run; every exposition must pass the OpenMetrics validator and every
+   watched counter must be scrape-to-scrape monotonic (no torn reads);
+3. **kill**: once a pool worker's periodic ``inflight`` flight dump
+   appears, the drill SIGKILLs that worker mid-simulation;
+4. **join**: the dead worker's flight record — written *before* the
+   kill — must carry the submit-time correlation id and the last
+   sampled simulated cycle, and the campaign journal's entries for the
+   sweep must carry the same id: one token joins the HTTP submit event,
+   the journal, and the postmortem;
+5. **reconcile**: after the job completes (the broken pool respawned,
+   the unit retried), the final ``/metrics`` counters must equal the
+   ``/stats`` JSON and the expected unit counts exactly;
+6. **shutdown**: SIGTERM drains and the service exits 0.
+
+Run:  python examples/observability_drill.py [--workdir DIR]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[1] / "src")
+)
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.telemetry.flight import read_flight_records  # noqa: E402
+from repro.telemetry.metrics import (  # noqa: E402
+    parse_samples,
+    validate_openmetrics,
+)
+
+SCHEMES = ("baseline", "disco")
+WORKLOAD = "blackscholes"
+#: Large enough that a simulation spans several inflight dumps (the
+#: flight recorder's 1/s cadence needs a few seconds of runtime to kill
+#: into), small enough that the retried unit completes quickly.
+ACCESSES = 4000
+
+
+# --------------------------------------------------------------------------
+# service process management
+# --------------------------------------------------------------------------
+
+
+def _service_env(workdir):
+    return dict(
+        os.environ,
+        REPRO_CACHE_DIR=str(workdir / "cache"),
+        REPRO_FLIGHT_DIR=str(workdir / "flight"),
+        REPRO_HEARTBEAT_DIR=str(workdir / "heartbeats"),
+        REPRO_WATCHDOG_SECONDS="120",
+        REPRO_QUARANTINE_AFTER="5",
+        REPRO_RETRY_BACKOFF="0.1",
+        PYTHONPATH=os.pathsep.join(sys.path),
+    )
+
+
+def start_service(workdir):
+    port_file = workdir / "svc.port"
+    log_file = open(workdir / "svc.log", "w")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--host", "127.0.0.1", "--port", "0",
+            "--workers", "2",
+            "--rate", "100", "--burst", "100",
+            "--port-file", str(port_file),
+            "--drain-timeout", "120",
+        ],
+        env=_service_env(workdir),
+        stdout=log_file,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 60.0
+    while not port_file.exists():
+        if process.poll() is not None:
+            raise RuntimeError("service died on startup")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("service never published its port")
+        time.sleep(0.05)
+    port = int(port_file.read_text())
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=300.0)
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            ok, _ = client.health("ready")
+            if ok:
+                break
+        except OSError:
+            pass
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("service never became ready")
+        time.sleep(0.05)
+    print(f"service: pid {process.pid}, port {port}")
+    return process, client, port
+
+
+def stop_service(process):
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=180)
+    if code != 0:
+        raise AssertionError(f"service exited {code}, not 0")
+    print("service: clean shutdown (exit 0)")
+
+
+# --------------------------------------------------------------------------
+# the scraper thread
+# --------------------------------------------------------------------------
+
+WATCHED_COUNTERS = (
+    "repro_service_units_completed_total",
+    "repro_admission_jobs_admitted_total",
+    "repro_service_retries_total",
+)
+
+
+class MetricsScraper(threading.Thread):
+    """Continuously scrape /metrics; record any tear or non-monotone."""
+
+    def __init__(self, port, interval=0.2):
+        super().__init__(name="metrics-scraper", daemon=True)
+        self.url = f"http://127.0.0.1:{port}/metrics"
+        self.interval = interval
+        self.scrapes = 0
+        self.failures = []
+        self.last = {}
+        self._halt = threading.Event()
+
+    def scrape_once(self):
+        with urllib.request.urlopen(self.url, timeout=30) as response:
+            content_type = response.headers.get("Content-Type", "")
+            text = response.read().decode()
+        if "openmetrics-text" not in content_type:
+            self.failures.append(f"wrong content type {content_type!r}")
+            return None
+        errors = validate_openmetrics(text)
+        if errors:
+            self.failures.append(f"invalid exposition: {errors[:3]}")
+            return None
+        samples = parse_samples(text)
+        for name in WATCHED_COUNTERS:
+            for labels, value in samples.get(name, {}).items():
+                key = (name, labels)
+                if key in self.last and value < self.last[key]:
+                    self.failures.append(
+                        f"{name} went backwards: {self.last[key]} -> {value}"
+                    )
+                self.last[key] = value
+        self.scrapes += 1
+        return samples
+
+    def run(self):
+        while not self._halt.is_set():
+            try:
+                self.scrape_once()
+            except Exception as exc:  # noqa: BLE001 - surfaced by driver
+                self.failures.append(repr(exc))
+            self._halt.wait(self.interval)
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=10)
+
+
+# --------------------------------------------------------------------------
+# the drill
+# --------------------------------------------------------------------------
+
+
+def submit_sweep(port):
+    """POST /submit directly so the 202 body's correlation id is kept."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/submit",
+        data=json.dumps(
+            {
+                "client": "drill",
+                "specs": [
+                    {"scheme": scheme, "workload": WORKLOAD,
+                     "accesses_per_core": ACCESSES}
+                    for scheme in SCHEMES
+                ],
+            }
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        body = json.loads(response.read())
+    print(
+        f"submitted job {body['job']} ({body['units']} units), "
+        f"correlation {body['correlation']}"
+    )
+    return body["job"], body["correlation"]
+
+
+def kill_one_worker(flight_dir, correlation, service_pid):
+    """Wait for a worker's inflight dump carrying our correlation id,
+    then SIGKILL that worker mid-simulation."""
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        for record in read_flight_records(flight_dir):
+            if (
+                record.get("reason") == "inflight"
+                and record.get("corr") == correlation
+                and record.get("pid") != service_pid
+            ):
+                victim = record["pid"]
+                os.kill(victim, signal.SIGKILL)
+                print(
+                    f"SIGKILLed pool worker {victim} at simulated cycle "
+                    f"{record['extra'].get('cycle')}"
+                )
+                return victim
+        time.sleep(0.05)
+    raise AssertionError("no inflight flight record ever appeared")
+
+
+def check_flight_join(flight_dir, victim, correlation):
+    """The postmortem contract: the dead worker's record survives the
+    SIGKILL and joins the submit event on the correlation id."""
+    records = {r["pid"]: r for r in read_flight_records(flight_dir)}
+    record = records.get(victim)
+    if record is None:
+        raise AssertionError(f"no flight record for killed worker {victim}")
+    if record["corr"] != correlation:
+        raise AssertionError(
+            f"flight corr {record['corr']!r} != submit corr {correlation!r}"
+        )
+    cycle = record["extra"].get("cycle")
+    if not isinstance(cycle, int) or cycle < 0:
+        raise AssertionError(f"flight record lacks a sampled cycle: {cycle!r}")
+    if not record["events"]:
+        raise AssertionError("flight record has an empty event ring")
+    reasons = {r.get("reason") for r in records.values()}
+    if "broken_pool" not in reasons:
+        raise AssertionError(
+            f"service never dumped a broken_pool record (saw {reasons})"
+        )
+    print(
+        f"flight record joins: pid {victim}, corr {correlation}, "
+        f"last cycle {cycle}, {len(record['events'])} ring events"
+    )
+
+
+def check_journal_join(workdir, correlation):
+    """Every journal record of the sweep carries the correlation id."""
+    journal = workdir / "cache" / "campaign.journal.jsonl"
+    tagged = total = 0
+    for line in journal.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail from the kill — tolerated by design
+        total += 1
+        if record.get("corr") == correlation:
+            tagged += 1
+    if tagged == 0:
+        raise AssertionError("no journal record carries the correlation id")
+    print(f"journal joins: {tagged}/{total} records tagged {correlation}")
+
+
+def check_reconciliation(scraper, client, expected_units):
+    """The final scrape's counters equal /stats and the unit count."""
+    samples = scraper.scrape_once()
+    if samples is None:
+        raise AssertionError(f"final scrape invalid: {scraper.failures[-1]}")
+    stats = client.stats()["counters"]
+    metric_completed = samples["repro_service_units_completed_total"][()]
+    if metric_completed != stats["service"]["units_completed"]:
+        raise AssertionError(
+            f"/metrics says {metric_completed} completed, /stats says "
+            f"{stats['service']['units_completed']}"
+        )
+    if metric_completed != expected_units:
+        raise AssertionError(
+            f"{metric_completed} units completed, expected {expected_units}"
+        )
+    retries = samples["repro_service_retries_total"][()]
+    if retries != stats["service"]["retries"] or retries < 1:
+        raise AssertionError(
+            f"retry counters disagree or no retry happened "
+            f"(metrics {retries}, stats {stats['service']['retries']})"
+        )
+    outcomes = samples.get("repro_service_unit_cache_outcomes_total", {})
+    outcome_sum = sum(outcomes.values())
+    if outcome_sum != metric_completed:
+        raise AssertionError(
+            f"cache outcomes sum {outcome_sum} != completed {metric_completed}"
+        )
+    print(
+        f"reconciled: completed={metric_completed} retries={retries} "
+        f"across {scraper.scrapes} valid scrapes"
+    )
+
+
+def drill(workdir):
+    workdir.mkdir(parents=True, exist_ok=True)
+    flight_dir = workdir / "flight"
+    process, client, port = start_service(workdir)
+    scraper = MetricsScraper(port)
+    try:
+        scraper.start()
+        job_id, correlation = submit_sweep(port)
+        victim = kill_one_worker(flight_dir, correlation, process.pid)
+        results, failures = client.wait(job_id)
+        if failures or len(results) != len(SCHEMES):
+            raise AssertionError(
+                f"job did not complete cleanly: {len(results)} results, "
+                f"failures {failures}"
+            )
+        print(f"job {job_id} completed despite the kill "
+              f"({len(results)} results)")
+        check_flight_join(flight_dir, victim, correlation)
+        check_journal_join(workdir, correlation)
+        scraper.stop()
+        if scraper.failures:
+            raise AssertionError(
+                f"scraper saw {len(scraper.failures)} violations: "
+                f"{scraper.failures[:3]}"
+            )
+        check_reconciliation(scraper, client, expected_units=len(SCHEMES))
+        ok, detail = client.health("ready")
+        if not ok:
+            raise AssertionError(f"unready after the drill: "
+                                 f"{detail.get('reasons')}")
+        stop_service(process)
+    finally:
+        scraper.stop()
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+    print(
+        "\nobservability drill passed: valid monotonic scrapes throughout, "
+        "flight record + journal + submit joined on one correlation id, "
+        "counters reconciled, clean shutdown"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="artifact directory (flight records, journal, logs); "
+        "default: a temp dir, removed on success",
+    )
+    args = parser.parse_args()
+    if args.workdir:
+        drill(Path(args.workdir))
+    else:
+        workdir = Path(tempfile.mkdtemp(prefix="observability-drill-"))
+        drill(workdir)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -98,7 +98,18 @@ def _quarantine(path: Path) -> None:
     try:
         os.replace(path, path.with_name(path.name + ".corrupt"))
     except OSError:  # pragma: no cover - concurrent cleanup
-        pass
+        return
+    # A quarantined checkpoint is postmortem-worthy: dump the flight ring
+    # (no-op with the plane off) so the corrupt-envelope event joins the
+    # service log and journal on the correlation id.
+    from repro.telemetry import flight as _flight
+
+    if _flight.enabled():
+        recorder = _flight.recorder(role="worker")
+        recorder.record("checkpoint_quarantine", path=str(path))
+        recorder.dump(
+            "checkpoint_quarantine", extra={"path": str(path)}
+        )
 
 
 def save_checkpoint(key: str, cycle: int, state: Dict) -> Path:

@@ -67,7 +67,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cmp.config import SystemConfig
 from repro.cmp.schemes import make_scheme
 from repro.cmp.system import CmpSystem, SimulationResult
-from repro.telemetry.log import ensure_level, get_logger
+from repro.telemetry.log import (
+    correlation_scope,
+    current_correlation,
+    ensure_level,
+    get_logger,
+)
 from repro.telemetry.profiler import (
     RunProfile,
     merge_profiles,
@@ -135,6 +140,10 @@ class RunnerError(RuntimeError):
     maps specs to the exception their *first* attempt raised, so a
     flaky-then-fatal sequence (say, a timeout followed by a crash) is
     fully visible in the message instead of only the last symptom.
+    ``correlation`` (defaulting to the ambient correlation id when the
+    batch ran inside a service/submit context) is appended to the
+    message, so a failed-spec report in a client's traceback joins the
+    service log, journal and flight records on one token.
     """
 
     def __init__(
@@ -142,10 +151,14 @@ class RunnerError(RuntimeError):
         failures: Dict[RunSpec, BaseException],
         completed: Dict[RunSpec, "SimulationResult"],
         prior: Optional[Dict[RunSpec, BaseException]] = None,
+        correlation: Optional[str] = None,
     ):
         self.failures = dict(failures)
         self.completed = dict(completed)
         self.prior = dict(prior) if prior else {}
+        self.correlation = (
+            correlation if correlation is not None else current_correlation()
+        )
 
         def describe(spec: RunSpec) -> str:
             name = (
@@ -160,9 +173,10 @@ class RunnerError(RuntimeError):
 
         names = ", ".join(describe(spec) for spec in failures)
         first = next(iter(failures.values()))
+        suffix = f" [corr={self.correlation}]" if self.correlation else ""
         super().__init__(
             f"{len(failures)} of {len(failures) + len(completed)} specs "
-            f"failed [{names}]; first error: {first!r}"
+            f"failed [{names}]; first error: {first!r}{suffix}"
         )
 
 
@@ -516,10 +530,30 @@ def _log_simulation(spec: RunSpec) -> None:
         pass
 
 
-def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
+def _simulate(
+    spec: RunSpec,
+    verbose: bool = False,
+    correlation: Optional[str] = None,
+) -> SimulationResult:
     """Build and run one simulation (no caches — the pool workers' entry
     point, importable at module top level so specs pickle across
-    processes)."""
+    processes).
+
+    ``correlation`` is the service's submit-time id: bound as the log
+    context for the whole run (every worker-side record carries it) and
+    stamped into the kernel's free-form annotations.  It never enters
+    the spec key or the result, so caching, digests and the disk-cache
+    envelope are byte-identical with or without it.
+    """
+    if correlation is None:
+        correlation = current_correlation()
+    with correlation_scope(correlation):
+        return _simulate_in_scope(spec, verbose, correlation)
+
+
+def _simulate_in_scope(
+    spec: RunSpec, verbose: bool, correlation: Optional[str]
+) -> SimulationResult:
     _maybe_inject_runner_fault(spec)
     _log_simulation(spec)
     config = spec.config()
@@ -537,6 +571,8 @@ def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
     _train_if_needed(system, spec)
     if spec.profile_run:
         system.kernel.enable_timing(per_component=True)
+    if correlation:
+        system.kernel.annotations["correlation_id"] = correlation
     if verbose:
         ensure_level(logging.INFO)
     _LOG.info(
@@ -565,7 +601,7 @@ def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
             )
     timeout = _spec_timeout()
     deadline = time.monotonic() + timeout if timeout is not None else None
-    progress = _heartbeat_writer(spec)
+    progress = _progress_hook(spec, correlation)
     start = time.perf_counter()
     try:
         result = system.run(
@@ -573,6 +609,9 @@ def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
             deadline=deadline,
             progress_fn=progress,
         )
+    except BaseException as exc:
+        _flight_dump_failure(spec, correlation, system, exc)
+        raise
     finally:
         if session is not None:
             session.close()
@@ -583,6 +622,47 @@ def _simulate(spec: RunSpec, verbose: bool = False) -> SimulationResult:
         # campaign aggregate can report cycles/second throughput.
         result.profile.wall_seconds = time.perf_counter() - start
     return result
+
+
+def _flight_dump_failure(
+    spec: RunSpec,
+    correlation: Optional[str],
+    system: CmpSystem,
+    exc: BaseException,
+) -> None:
+    """Dump the flight ring on a failed run (no-op with the plane off).
+
+    Classifies the fabric's :class:`~repro.noc.reliability.
+    InvariantViolation` separately — a violated conservation invariant
+    is a simulator bug, and its postmortem should say so."""
+    from repro.noc.reliability import InvariantViolation
+    from repro.telemetry import flight as _flight
+
+    if not _flight.enabled():
+        return
+    reason = (
+        "invariant_violation"
+        if isinstance(exc, (InvariantViolation, AssertionError))
+        else "exception"
+    )
+    recorder = _flight.recorder(role="worker")
+    recorder.record(
+        "failure", key=spec_key(spec)[:12], error=repr(exc), reason=reason
+    )
+    recorder.dump(
+        reason,
+        corr=correlation,
+        extra={
+            "key": spec_key(spec),
+            "scheme": spec.scheme,
+            "workload": spec.workload,
+            "cycle": system.cycle,
+            "error": repr(exc),
+            "phase_seconds": dict(
+                getattr(system.kernel, "phase_seconds", {}) or {}
+            ),
+        },
+    )
 
 
 def _train_if_needed(system: CmpSystem, spec: RunSpec) -> None:
@@ -731,6 +811,12 @@ def _journal_append(key: str, state: str, **extra) -> None:
     from repro.experiments.lockfile import LockTimeout
 
     record = {"key": key, "state": state, "ts": time.time()}
+    corr = current_correlation()
+    if corr:
+        # The ambient correlation id (service submit context) makes every
+        # journal line greppable alongside the HTTP events and flight
+        # records; explicit ``corr=`` kwargs still win.
+        record.setdefault("corr", corr)
     record.update(extra)
     line = (json.dumps(record, sort_keys=True) + "\n").encode()
     path = _journal_path()
@@ -753,7 +839,10 @@ def _journal_append(key: str, state: str, **extra) -> None:
 
 
 def _journal_read() -> Dict[str, dict]:
-    """Fold the journal into per-key ``{"state", "attempts"}`` entries.
+    """Fold the journal into per-key ``{"state", "attempts"}`` entries
+    (plus ``corr`` when any record for the key carried a correlation id —
+    the join token that lines the journal up with service logs, flight
+    records and ``/submit`` responses).
 
     Last record wins for ``state``.  Every ``running`` record counts one
     attempt and any clean terminal record (``done``/``failed``) resets
@@ -783,6 +872,8 @@ def _journal_read() -> Dict[str, dict]:
             continue
         entry = entries.setdefault(key, {"state": state, "attempts": 0})
         entry["state"] = state
+        if isinstance(record.get("corr"), str):
+            entry["corr"] = record["corr"]
         if state == "running":
             entry["attempts"] += 1
         elif state in ("done", "failed"):
@@ -835,6 +926,9 @@ def _heartbeat_writer(spec: RunSpec):
             "cycle": system.cycle,
             "ts": time.time(),
         }
+        corr = current_correlation()
+        if corr:
+            record["corr"] = corr
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -847,6 +941,48 @@ def _heartbeat_writer(spec: RunSpec):
             pass
 
     return _beat
+
+
+def _progress_hook(spec: RunSpec, correlation: Optional[str] = None):
+    """Compose the heartbeat writer with the flight recorder's periodic
+    inflight dump, or ``None`` when both knobs are off.
+
+    SIGKILL (the watchdog's verdict for a wedged worker) gives no chance
+    to dump after the fact, so the worker persists its ring *ahead* of
+    death: roughly once a second the progress callback dumps the flight
+    ring with ``reason="inflight"``, carrying the correlation id and the
+    last sampled simulated cycle.  The file surviving the kill is the
+    postmortem artifact the chaos drill asserts on.
+    """
+    beat = _heartbeat_writer(spec)
+    from repro.telemetry import flight as _flight
+
+    if not _flight.enabled():
+        return beat
+    recorder = _flight.recorder(role="worker")
+    key = spec_key(spec)
+    state = {"last": 0.0}
+
+    def _progress(system: CmpSystem) -> None:
+        if beat is not None:
+            beat(system)
+        now = time.monotonic()
+        if now - state["last"] < 1.0:
+            return
+        state["last"] = now
+        recorder.record("progress", key=key[:12], cycle=system.cycle)
+        recorder.dump(
+            "inflight",
+            corr=correlation,
+            extra={
+                "key": key,
+                "scheme": spec.scheme,
+                "workload": spec.workload,
+                "cycle": system.cycle,
+            },
+        )
+
+    return _progress
 
 
 def clean_stale_heartbeats(directory: Optional[Path] = None) -> int:
@@ -982,7 +1118,31 @@ class _Watchdog:
                 os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
                 self.killed.append(pid)
             except OSError:
-                pass
+                continue
+            # The victim's last inflight flight dump survives the kill;
+            # record the supervisor's side of the story next to it (the
+            # worker's corr rides in the heartbeat record).
+            from repro.telemetry import flight as _flight
+
+            if _flight.enabled():
+                recorder = _flight.recorder(role="service")
+                recorder.record(
+                    "watchdog_kill",
+                    pid=pid,
+                    cycle=cycle,
+                    stalled_seconds=round(now - last[1], 3),
+                    corr=record.get("corr"),
+                )
+                recorder.dump(
+                    "watchdog_kill",
+                    corr=record.get("corr"),
+                    extra={
+                        "victim_pid": pid,
+                        "cycle": cycle,
+                        "key": record.get("key"),
+                        "stalled_seconds": round(now - last[1], 3),
+                    },
+                )
 
 
 def _start_watchdog() -> Tuple[Optional[_Watchdog], bool]:

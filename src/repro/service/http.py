@@ -4,20 +4,28 @@ A :class:`ThreadingHTTPServer` (one thread per connection, daemonized)
 over five routes:
 
 ==========================  ==============================================
-``POST /submit``            admit a job — ``202 {"job": ...}`` or
-                            ``429`` with the structured
+``POST /submit``            admit a job — ``202 {"job": ...,
+                            "correlation": ...}`` or ``429`` with the
+                            structured
                             :class:`~repro.service.admission.Overloaded`
                             payload and a ``Retry-After`` header
 ``GET /status/<job>``       job summary (state, completed/failed counts)
 ``GET /stream/<job>``       NDJSON event stream, one line per unit result
                             as it completes, terminated by the ``done``
                             event — live result streaming, not
-                            batch-at-end
+                            batch-at-end; SLO burn/recovery events ride
+                            the same stream
 ``GET /health/live``        200 while the dispatcher threads run
 ``GET /health/ready``       200 with queue headroom, 503 when saturated
-                            or draining (load balancers stop routing)
+                            or draining (load balancers stop routing);
+                            the body's ``reasons`` list names every
+                            failing condition
 ``GET /stats``              counter snapshot (service + admission stat
                             groups) plus the wall-clock series
+``GET /metrics``            OpenMetrics/Prometheus text exposition
+                            (:mod:`repro.telemetry.metrics`) — counters
+                            reconcile with ``/stats`` by construction
+``GET /slo``                current SLO evaluations with burn rates
 ==========================  ==============================================
 
 The submit body is::
@@ -40,6 +48,7 @@ from typing import Optional, Tuple
 from repro.service.admission import Overloaded
 from repro.service.scheduler import CampaignService
 from repro.telemetry.log import get_logger
+from repro.telemetry.metrics import CONTENT_TYPE, build_service_registry
 
 _LOG = get_logger("repro.service.http")
 
@@ -117,7 +126,12 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._send_json(
-            202, {"job": result.job_id, "units": result.total}
+            202,
+            {
+                "job": result.job_id,
+                "units": result.total,
+                "correlation": result.correlation,
+            },
         )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -131,12 +145,40 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200 if ready else 503, detail)
         elif path == "/stats":
             self._send_json(200, self._stats_payload())
+        elif path == "/metrics":
+            self._send_metrics()
+        elif path == "/slo":
+            self._send_json(
+                200,
+                {
+                    "slo": [
+                        status.to_dict()
+                        for status in self.service.evaluate_slos()
+                    ]
+                },
+            )
         elif path.startswith("/status/"):
             self._job_route(path[len("/status/"):], stream=False)
         elif path.startswith("/stream/"):
             self._job_route(path[len("/stream/"):], stream=True)
         else:
             self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def _send_metrics(self) -> None:
+        """The OpenMetrics exposition.
+
+        The registry is rebuilt from one :class:`StatsRegistry` snapshot
+        per scrape, so concurrent scrapes each see a complete,
+        internally consistent document (and counters stay monotonic
+        because the underlying stats only ever increase).
+        """
+        body = build_service_registry(self.service).render().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
 
     def _stats_payload(self) -> dict:
         service = self.service

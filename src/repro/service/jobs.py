@@ -116,7 +116,14 @@ class WorkUnit:
 
 
 class Job:
-    """One admitted submission and its event stream."""
+    """One admitted submission and its event stream.
+
+    ``correlation`` is the fleet-wide trace token minted at submission
+    (one per job; a deployment's edge proxy may pass its own through).
+    It rides every dispatch, journal line, worker log record, kernel
+    annotation and flight record the job's units produce, so one grep
+    reconstructs the job's full lifecycle across processes.
+    """
 
     def __init__(
         self,
@@ -124,8 +131,10 @@ class Job:
         priority: int,
         units_payload: List,
         job_id: Optional[str] = None,
+        correlation: Optional[str] = None,
     ):
         self.job_id = job_id or uuid.uuid4().hex[:12]
+        self.correlation = correlation or f"c-{uuid.uuid4().hex[:16]}"
         self.client = client
         self.priority = priority
         self.submitted_ts = time.time()
@@ -165,6 +174,7 @@ class Job:
                 state = RUNNING if self._started else QUEUED
             return {
                 "job": self.job_id,
+                "correlation": self.correlation,
                 "client": self.client,
                 "priority": self.priority,
                 "state": state,

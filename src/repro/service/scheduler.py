@@ -77,8 +77,10 @@ from repro.service.jobs import (
     spec_from_payload,
 )
 from repro.sim.stats import StatsRegistry
-from repro.telemetry.log import get_logger
+from repro.telemetry import flight as _flight
+from repro.telemetry.log import correlation_scope, get_logger
 from repro.telemetry.sampler import WallClockSeries
+from repro.telemetry.slo import SLOSpec, SLOStatus, default_slos, evaluate_all
 
 _LOG = get_logger("repro.service")
 
@@ -159,6 +161,7 @@ class CampaignService:
         max_queue_depth: int = 256,
         error_retries: int = 1,
         registry: Optional[StatsRegistry] = None,
+        slos: Optional[Sequence[SLOSpec]] = None,
     ):
         self.workers = max(1, workers or _runner.default_jobs())
         self.error_retries = max(0, error_retries)
@@ -175,6 +178,19 @@ class CampaignService:
         self.series = WallClockSeries()
         self.jobs: Dict[str, Job] = {}
         self.started_mono: Optional[float] = None
+        #: Declarative objectives evaluated over ``series`` (read-only —
+        #: SLO state never feeds back into scheduling decisions).
+        self.slos: List[SLOSpec] = list(
+            slos if slos is not None else default_slos()
+        )
+        self._slo_lock = threading.Lock()
+        self._slo_last = 0.0
+        self._slo_burning: Dict[str, float] = {}
+        #: Completed spec units per compression scheme (the ``/metrics``
+        #: per-scheme rate labels).
+        self._scheme_completed: Dict[str, int] = {}
+        #: Recent queue-age observations (ms) for the exposition histogram.
+        self._queue_ages: List[int] = []
 
         self._cond = threading.Condition()
         self._heaps: List[List[Tuple[Tuple[int, int], WorkUnit]]] = [
@@ -282,24 +298,101 @@ class CampaignService:
             thread.is_alive() for thread in self._threads
         )
 
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    def scheme_completed(self) -> Dict[str, int]:
+        """Completed spec units per scheme (for labelled exposition)."""
+        with self._cond:
+            return dict(self._scheme_completed)
+
+    def queue_age_observations(self) -> List[int]:
+        """Recent per-unit queue ages at dispatch (milliseconds)."""
+        with self._cond:
+            return list(self._queue_ages)
+
+    def heartbeat_lags(self) -> Dict[int, float]:
+        """Seconds since each worker's heartbeat file was refreshed."""
+        directory = os.environ.get("REPRO_HEARTBEAT_DIR", "").strip()
+        if not directory:
+            return {}
+        lags: Dict[int, float] = {}
+        try:
+            for path in Path(directory).glob("hb_*.json"):
+                try:
+                    pid = int(path.stem.split("_", 1)[1])
+                except (IndexError, ValueError):
+                    continue
+                lags[pid] = round(time.time() - path.stat().st_mtime, 3)
+        except OSError:
+            return lags
+        return lags
+
     def ready(self) -> Tuple[bool, Dict]:
         """Readiness + detail: accepting, with queue headroom, workers
-        alive, and (when supervision is on) fresh heartbeats."""
+        alive, and (when supervision is on) fresh heartbeats.
+
+        ``detail["reasons"]`` names every failing condition — an
+        unready probe must say *why* (stale heartbeat pids, queue over
+        depth, dead dispatchers) instead of a bare 503.
+        """
         with self._cond:
             depth = self.queue_depth()
+        reasons: List[str] = []
+        if not self._accepting:
+            reasons.append("not accepting submissions (draining or stopped)")
+        if not self.live():
+            dead = [
+                thread.name
+                for thread in self._threads
+                if not thread.is_alive()
+            ]
+            reasons.append(
+                "dispatcher threads dead: " + (", ".join(dead) or "all")
+            )
+        if depth >= self.admission.max_queue_depth:
+            reasons.append(
+                f"queue depth {depth} at/over bound "
+                f"{self.admission.max_queue_depth}"
+            )
+        stale = self._stale_heartbeats()
+        if stale:
+            reasons.append(
+                "stale heartbeat pids: "
+                + ", ".join(f"{pid} ({age:.1f}s)" for pid, age in stale)
+            )
+        slo_status = self.evaluate_slos()
+        burning = [s for s in slo_status if not s.ok]
         detail = {
             "accepting": self._accepting,
             "queue_depth": depth,
             "max_queue_depth": self.admission.max_queue_depth,
             "workers_alive": self.live(),
             "heartbeats": self._heartbeat_summary(),
+            "slo": [status.to_dict() for status in slo_status],
+            "slo_burning": [status.name for status in burning],
+            "reasons": reasons,
         }
-        ok = (
-            self._accepting
-            and self.live()
-            and depth < self.admission.max_queue_depth
-        )
+        ok = not reasons
+        detail["ready"] = ok
         return ok, detail
+
+    def _stale_heartbeats(self) -> List[Tuple[int, float]]:
+        """Heartbeat pids older than the watchdog budget (or 60s when no
+        watchdog is armed) — the readiness probe's staleness evidence."""
+        budget = 60.0
+        env = os.environ.get("REPRO_WATCHDOG_SECONDS", "").strip()
+        if env:
+            try:
+                budget = max(1.0, float(env))
+            except ValueError:
+                pass
+        return sorted(
+            (pid, age)
+            for pid, age in self.heartbeat_lags().items()
+            if age > budget
+        )
 
     def _heartbeat_summary(self) -> Dict:
         """Worker heartbeat freshness (rides the PR 7 heartbeat files)."""
@@ -307,17 +400,68 @@ class CampaignService:
         summary = {"dir": directory or None, "workers": 0, "freshest_age": None}
         if not directory:
             return summary
-        freshest = None
-        try:
-            for path in Path(directory).glob("hb_*.json"):
-                age = time.time() - path.stat().st_mtime
-                freshest = age if freshest is None else min(freshest, age)
-                summary["workers"] += 1
-        except OSError:
-            return summary
-        if freshest is not None:
-            summary["freshest_age"] = round(freshest, 3)
+        lags = self.heartbeat_lags()
+        summary["workers"] = len(lags)
+        if lags:
+            summary["freshest_age"] = round(min(lags.values()), 3)
+            summary["ages"] = {str(pid): age for pid, age in lags.items()}
         return summary
+
+    # -- SLO evaluation ------------------------------------------------------
+    def evaluate_slos(self, publish: bool = False) -> List[SLOStatus]:
+        """Evaluate every objective over the wall-clock rings.
+
+        With ``publish=True`` (the dispatch-path throttle calls it this
+        way) a *newly burning* objective records a ``slo_burn`` marker
+        into the series and publishes an ``{"type": "slo_burn"}`` event
+        on every unfinished job's stream, so a client watching
+        ``/stream`` sees the fleet degrade in-band; recoveries publish
+        ``slo_recovered``.  Read-only with respect to scheduling.
+        """
+        elapsed = (
+            time.monotonic() - self.started_mono
+            if self.started_mono is not None
+            else 0.0
+        )
+        statuses = evaluate_all(self.slos, self.series, elapsed=elapsed)
+        if not publish:
+            return statuses
+        with self._slo_lock:
+            for status in statuses:
+                was_burning = status.name in self._slo_burning
+                if not status.ok and not was_burning:
+                    self._slo_burning[status.name] = status.burn_rate
+                    self.series.record(slo_burn=1)
+                    _LOG.warning(
+                        "SLO %s burning: %s=%.4g vs objective %.4g "
+                        "(burn %.2fx)",
+                        status.name,
+                        status.metric,
+                        status.value if status.value is not None else -1.0,
+                        status.objective,
+                        status.burn_rate,
+                    )
+                    self._publish_slo_event("slo_burn", status)
+                elif status.ok and was_burning:
+                    del self._slo_burning[status.name]
+                    _LOG.info("SLO %s recovered", status.name)
+                    self._publish_slo_event("slo_recovered", status)
+        return statuses
+
+    def _publish_slo_event(self, kind: str, status: SLOStatus) -> None:
+        event = {"type": kind, **status.to_dict()}
+        for job in list(self.jobs.values()):
+            if not job.finished():
+                job.publish(dict(event))
+
+    def _maybe_evaluate_slos(self) -> None:
+        """Dispatch-path SLO check, throttled to one evaluation per 2s."""
+        now = time.monotonic()
+        with self._slo_lock:
+            if now - self._slo_last < 2.0:
+                return
+            self._slo_last = now
+        self.evaluate_slos(publish=True)
 
     # -- submission ----------------------------------------------------------
     def submit(
@@ -374,21 +518,37 @@ class CampaignService:
             self.jobs[job.job_id] = job
             for unit in job.units:
                 if unit.kind == UNIT_SPEC:
-                    _runner._journal_append(unit.key, "pending")
+                    _runner._journal_append(
+                        unit.key, "pending", corr=job.correlation
+                    )
                 self._enqueue_locked(unit)
             self._cond.notify_all()
         self.series.record(queue_depth=depth + len(job.units), admitted=1)
+        _flight.recorder(role="service").record(
+            "admit",
+            job=job.job_id,
+            corr=job.correlation,
+            client=client,
+            units=job.total,
+        )
         _LOG.info(
-            "admitted job %s: client=%s priority=%d units=%d",
+            "admitted job %s: client=%s priority=%d units=%d corr=%s",
             job.job_id,
             client,
             priority,
             job.total,
+            job.correlation,
         )
         return job
 
     def _record_shed(self, decision: Overloaded, units: int) -> None:
         self.series.record(shed=1, shed_units=units)
+        _flight.recorder(role="service").record(
+            "shed",
+            client=decision.client,
+            reason=decision.reason,
+            units=units,
+        )
         _LOG.warning(
             "shed %d units from client %s: %s (retry_after %.2fs)",
             units,
@@ -470,15 +630,35 @@ class CampaignService:
 
     # -- execution -----------------------------------------------------------
     def _execute(self, unit: WorkUnit) -> None:
-        age_ms = int((time.monotonic() - unit.enqueued) * 1000)
-        self.stats.queue_age_ms_total += age_ms
-        self.stats.queue_age_samples += 1
-        self.series.record(queue_age_ms=age_ms)
-        unit.job.mark_started()
-        if unit.kind == UNIT_SPEC:
-            self._execute_spec(unit)
-        else:
-            self._execute_campaign(unit)
+        """Dispatch one unit under its job's correlation scope.
+
+        Binding the scope here means every log record, journal append
+        and flight event the dispatch produces — on this thread —
+        carries the submit-time correlation id without any call site
+        naming it; the pool worker gets it as an explicit
+        ``_simulate`` argument (contextvars don't cross processes).
+        """
+        with correlation_scope(unit.job.correlation):
+            age_ms = int((time.monotonic() - unit.enqueued) * 1000)
+            self.stats.queue_age_ms_total += age_ms
+            self.stats.queue_age_samples += 1
+            self.series.record(queue_age_ms=age_ms)
+            with self._cond:
+                self._queue_ages.append(age_ms)
+                if len(self._queue_ages) > 4096:
+                    del self._queue_ages[:2048]
+            _flight.recorder(role="service").record(
+                "dispatch",
+                unit=unit.describe(),
+                job=unit.job.job_id,
+                queue_age_ms=age_ms,
+            )
+            unit.job.mark_started()
+            self._maybe_evaluate_slos()
+            if unit.kind == UNIT_SPEC:
+                self._execute_spec(unit)
+            else:
+                self._execute_campaign(unit)
 
     def _execute_spec(self, unit: WorkUnit) -> None:
         spec = unit.spec
@@ -496,7 +676,9 @@ class CampaignService:
         _runner._journal_append(unit.key, "running")
         generation = self._pool_generation
         try:
-            future = self._pool_submit(_runner._simulate, spec)
+            future = self._pool_submit(
+                _runner._simulate, spec, False, unit.job.correlation
+            )
             result = future.result(timeout=_runner._spec_timeout())
         except BrokenProcessPool:
             self._respawn_pool(generation)
@@ -536,6 +718,7 @@ class CampaignService:
         event = {
             "type": "result",
             "job": unit.job.job_id,
+            "correlation": unit.job.correlation,
             "index": unit.index,
             "key": unit.key,
             "campaign": summary,
@@ -546,6 +729,7 @@ class CampaignService:
         return {
             "type": "result",
             "job": unit.job.job_id,
+            "correlation": unit.job.correlation,
             "index": unit.index,
             "key": unit.key,
             "digest": _runner.result_digest(result),
@@ -572,6 +756,23 @@ class CampaignService:
                 "quarantined %s after %d interruptions",
                 unit.describe(),
                 unit.interruptions,
+            )
+            recorder = _flight.recorder(role="service")
+            recorder.record(
+                "quarantine",
+                unit=unit.describe(),
+                job=unit.job.job_id,
+                attempts=unit.interruptions,
+                error=message,
+            )
+            recorder.dump(
+                "quarantine",
+                corr=unit.job.correlation,
+                extra={
+                    "key": unit.key,
+                    "attempts": unit.interruptions,
+                    "error": message,
+                },
             )
             self._resolve_failure(
                 unit,
@@ -603,6 +804,14 @@ class CampaignService:
         unit.ready_at = time.monotonic() + delay
         self.stats.retries += 1
         self.series.record(retry=1)
+        _flight.recorder(role="service").record(
+            "retry",
+            unit=unit.describe(),
+            job=unit.job.job_id,
+            attempt=attempt,
+            delay=round(delay, 3),
+            error=message,
+        )
         _LOG.info(
             "retrying %s in %.2fs (attempt %d): %s",
             unit.describe(),
@@ -618,6 +827,11 @@ class CampaignService:
     def _resolve_result(self, unit: WorkUnit, event: Dict) -> None:
         self.stats.units_completed += 1
         self.series.record(completed=1)
+        if unit.kind == UNIT_SPEC and unit.spec is not None:
+            with self._cond:
+                self._scheme_completed[unit.spec.scheme] = (
+                    self._scheme_completed.get(unit.spec.scheme, 0) + 1
+                )
         unit.job.publish(event)
         self._maybe_finish(unit.job)
 
@@ -630,6 +844,7 @@ class CampaignService:
             {
                 "type": "failed",
                 "job": unit.job.job_id,
+                "correlation": unit.job.correlation,
                 "index": unit.index,
                 "key": unit.key,
                 "error": message,
@@ -686,6 +901,20 @@ class CampaignService:
         self.series.record(respawn=1)
         _LOG.warning("process pool died; respawned (generation %d)",
                      self._pool_generation)
+        recorder = _flight.recorder(role="service")
+        recorder.record(
+            "broken_pool", generation=self._pool_generation
+        )
+        recorder.dump(
+            "broken_pool",
+            extra={
+                "generation": self._pool_generation,
+                "heartbeat_lags": {
+                    str(pid): age
+                    for pid, age in self.heartbeat_lags().items()
+                },
+            },
+        )
 
     # -- logging handshake ---------------------------------------------------
     def enable_verbose(self) -> None:

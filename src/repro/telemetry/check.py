@@ -1,4 +1,4 @@
-"""Chrome trace-event JSON schema checker.
+"""Chrome trace-event JSON and OpenMetrics exposition checkers.
 
 Perfetto is forgiving when loading traces, which means a malformed
 exporter can silently render an empty timeline.  This module validates
@@ -7,11 +7,16 @@ enough that a passing trace is known-loadable — and doubles as the CI
 smoke-test entry point::
 
     PYTHONPATH=src python -m repro.telemetry.check trace.json
+    PYTHONPATH=src python -m repro.telemetry.check --metrics metrics.txt
 
-Exit status 0 means the trace parsed and every event passed; errors are
+``--metrics`` switches to the OpenMetrics validator
+(:func:`repro.telemetry.metrics.validate_openmetrics`) over a scraped
+``/metrics`` exposition — the ``metrics-smoke`` CI job's gate.
+
+Exit status 0 means the input parsed and every check passed; errors are
 listed one per line on stderr otherwise.  A summary (event counts by
-phase/category, packet-span count) is printed on stdout so the CI log
-shows what the trace contained.
+phase/category, packet-span count — or metric family/sample counts) is
+printed on stdout so the CI log shows what the input contained.
 """
 
 from __future__ import annotations
@@ -95,10 +100,43 @@ def summarize(trace: Dict) -> Dict:
     return {"by_ph": by_ph, "by_cat": by_cat, "packet_spans": packet_spans}
 
 
+def check_metrics(path: str) -> int:
+    """Validate one scraped OpenMetrics exposition file."""
+    from repro.telemetry.metrics import parse_samples, validate_openmetrics
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"{path}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_openmetrics(text)
+    samples = parse_samples(text)
+    families = {
+        line.split(" ", 3)[2]
+        for line in text.split("\n")
+        if line.startswith("# TYPE ")
+    }
+    print(
+        f"{path}: {len(families)} metric families, "
+        f"{sum(len(v) for v in samples.values())} samples"
+    )
+    if errors:
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        print(f"{path}: INVALID ({len(errors)} errors)", file=sys.stderr)
+        return 1
+    print(f"{path}: OK")
+    return 0
+
+
 def main(argv: Sequence[str]) -> int:
-    if len(argv) != 1:
+    if len(argv) == 2 and argv[0] == "--metrics":
+        return check_metrics(argv[1])
+    if len(argv) != 1 or argv[0] == "--metrics":
         print(
-            "usage: python -m repro.telemetry.check trace.json",
+            "usage: python -m repro.telemetry.check trace.json\n"
+            "       python -m repro.telemetry.check --metrics metrics.txt",
             file=sys.stderr,
         )
         return 2

@@ -224,7 +224,10 @@ def _metadata(pid: int, tid: Optional[int], name: str) -> Dict:
 
 
 def to_chrome_trace(
-    events: Sequence[TraceEvent], *, label: str = "repro"
+    events: Sequence[TraceEvent],
+    *,
+    label: str = "repro",
+    correlation: Optional[str] = None,
 ) -> Dict:
     """Render recorded events as a Chrome trace-event JSON object.
 
@@ -232,6 +235,9 @@ def to_chrome_trace(
     shows one track per traced packet (its full lifecycle span plus
     retransmit/CRC/duplicate instants), *routers* one track per router
     (per-hop residency spans), *engines* one track per (de)compressor.
+    ``correlation`` (the service's submit-time id, when the trace came
+    out of a service unit) rides in ``otherData`` so a Perfetto load is
+    joinable with the service log and journal.
     """
     trace_events: List[Dict] = [
         _metadata(PID_PACKETS, None, f"{label}: packets"),
@@ -314,21 +320,28 @@ def to_chrome_trace(
         trace_events.append(_metadata(PID_ROUTERS, node, f"router {node}"))
     for node in sorted(engine_nodes):
         trace_events.append(_metadata(PID_ENGINES, node, f"engine {node}"))
+    other: Dict = {
+        "clock": "1 simulated cycle = 1 trace microsecond",
+        "label": label,
+    }
+    if correlation:
+        other["correlation_id"] = correlation
     return {
         "displayTimeUnit": "ms",
-        "otherData": {
-            "clock": "1 simulated cycle = 1 trace microsecond",
-            "label": label,
-        },
+        "otherData": other,
         "traceEvents": trace_events,
     }
 
 
 def write_chrome_trace(
-    path: str, events: Sequence[TraceEvent], *, label: str = "repro"
+    path: str,
+    events: Sequence[TraceEvent],
+    *,
+    label: str = "repro",
+    correlation: Optional[str] = None,
 ) -> Dict:
     """Write the Chrome trace JSON to ``path``; returns the trace dict."""
-    trace = to_chrome_trace(events, label=label)
+    trace = to_chrome_trace(events, label=label, correlation=correlation)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh, separators=(",", ":"))
     return trace
@@ -359,6 +372,48 @@ def node_hop_counts(events: Sequence[TraceEvent]) -> Dict[int, int]:
         if event.kind == EV_HOP:
             counts[event.node] = counts.get(event.node, 0) + 1
     return counts
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (``0 <= q <= 1``) with linear interpolation.
+
+    The classic "linear" / "type 7" definition (numpy's default): rank
+    ``q * (n - 1)`` into the sorted sample, interpolating between the
+    two straddling order statistics.  Implemented in pure stdlib so the
+    quantile math is identical with or without numpy — the pinned
+    unit test holds both paths to the same numbers.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if frac == 0.0:
+        return ordered[low]
+    return ordered[low] + (ordered[low + 1] - ordered[low]) * frac
+
+
+def latency_percentiles(
+    events: Sequence[TraceEvent],
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+) -> Dict[str, float]:
+    """p50/p95/p99 (by default) of traced end-to-end latencies, keyed
+    ``p50``-style; empty when no ejection carried a latency."""
+    latencies = [
+        float(event.info[0])
+        for event in events
+        if event.kind == EV_EJECT and event.info
+    ]
+    if not latencies:
+        return {}
+    return {
+        f"p{round(q * 100):d}": percentile(latencies, q) for q in quantiles
+    }
 
 
 def latency_histogram(
@@ -401,6 +456,7 @@ def summarize_trace(events: Sequence[TraceEvent]) -> Dict:
         "engine_spans": len(engine_spans(events)),
         "node_hop_counts": node_hop_counts(events),
         "latency_histogram": latency_histogram(events),
+        "latency_percentiles": latency_percentiles(events),
         "mean_latency": (
             sum(latencies) / len(latencies) if latencies else 0.0
         ),

@@ -17,17 +17,76 @@ This replaces the ad-hoc ``print``/``verbose`` output the experiment
 runner used to produce — pool workers configure their own handler on
 first use (fork inherits the parent's, spawn re-imports), so worker-side
 messages are structured too.
+
+Correlation
+-----------
+Every record additionally carries a **correlation id** — the token the
+service mints at ``POST /submit`` and threads through job → work unit →
+pool worker → ``RunSpec`` annotations.  It rides a :mod:`contextvars`
+variable (so each dispatcher thread and each pool worker tags only its
+own records) and lands in the line via :class:`CorrelationFilter` as a
+``corr=<id>`` suffix on the logger name field: ``-`` when no request
+context is active, so batch-runner output is unchanged apart from the
+constant field.  ``grep <corr>`` across the service log, the journal and
+a flight record then reconstructs one unit's full lifecycle.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import logging
 import os
 
 _ROOT_NAME = "repro"
-_FORMAT = "%(asctime)s %(process)d %(name)s %(levelname)s %(message)s"
+_FORMAT = (
+    "%(asctime)s %(process)d %(name)s %(levelname)s corr=%(corr)s "
+    "%(message)s"
+)
 _DATE_FORMAT = "%H:%M:%S"
 _configured = False
+
+#: The active correlation id for this thread/task (``None`` outside any
+#: correlated request — rendered as ``-``).
+_correlation: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_correlation", default=None
+)
+
+
+def current_correlation():
+    """The correlation id bound to this context, or ``None``."""
+    return _correlation.get()
+
+
+def set_correlation(corr):
+    """Bind ``corr`` (or clear with ``None``); returns the reset token."""
+    return _correlation.set(corr)
+
+
+@contextlib.contextmanager
+def correlation_scope(corr):
+    """Bind a correlation id for the duration of a ``with`` block."""
+    token = _correlation.set(corr)
+    try:
+        yield corr
+    finally:
+        _correlation.reset(token)
+
+
+class CorrelationFilter(logging.Filter):
+    """Stamp every record with the context's correlation id.
+
+    Installed on the shared ``repro`` handler; also importable for
+    callers shipping repro records into their own handlers.  A filter
+    (not a formatter) so the ``corr`` attribute exists on the record
+    itself — flight recorders and test capture read it structurally.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "corr") or record.corr is None:
+            corr = _correlation.get()
+            record.corr = corr if corr else "-"
+        return True
 
 
 def level_from_env(default: int = logging.WARNING) -> int:
@@ -56,6 +115,7 @@ def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
         if not root.handlers:
             handler = logging.StreamHandler()
             handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+            handler.addFilter(CorrelationFilter())
             root.addHandler(handler)
         root.propagate = False
         root.setLevel(level_from_env())

@@ -403,7 +403,7 @@ class TestLogger:
         logger = get_logger("repro.runner")
         logger.info("[abc123] running")
         err = capsys.readouterr().err
-        assert "repro.runner INFO [abc123] running" in err
+        assert "repro.runner INFO corr=- [abc123] running" in err
 
     def test_ensure_level_only_lowers(self, monkeypatch):
         monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
